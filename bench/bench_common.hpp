@@ -1,0 +1,147 @@
+#pragma once
+// Shared setup for the figure benches: the paper's default experimental
+// setting (§5.1) scaled to run in seconds on a laptop core.
+//
+// Paper defaults: MNIST, non-IID, n=100 clients, m=2 miners, eta=0.01,
+// E=5, B=10, 100 communication rounds.  Bench defaults: the synthetic
+// MNIST substitute (64-dim), the same n/m/E/B, eta raised to 0.05 (the
+// smaller problem needs fewer effective steps), 30 rounds.  Pass --paper
+// for the full 100-round, 784-dim setting.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+namespace fairbfl::benchx {
+
+struct BenchSetting {
+    std::size_t clients = 100;
+    std::size_t miners = 2;
+    std::size_t rounds = 30;
+    double learning_rate = 0.05;
+    double client_ratio = 0.1;   ///< lambda: 10 of 100 clients per round
+    std::size_t epochs = 5;      ///< E
+    std::size_t batch = 10;      ///< B
+    std::size_t samples = 3000;
+    std::size_t feature_dim = 64;
+    double noise_sigma = 0.35;   ///< synthetic pixel noise
+    bool iid = false;
+    std::uint64_t seed = 42;
+
+    static BenchSetting from_args(support::CliArgs& args) {
+        BenchSetting s;
+        if (args.get_flag("paper")) {
+            s.rounds = 100;
+            s.samples = 12000;
+            s.feature_dim = 784;
+        }
+        s.clients = static_cast<std::size_t>(
+            args.get_int("clients", static_cast<std::int64_t>(s.clients)));
+        s.miners = static_cast<std::size_t>(
+            args.get_int("miners", static_cast<std::int64_t>(s.miners)));
+        s.rounds = static_cast<std::size_t>(
+            args.get_int("rounds", static_cast<std::int64_t>(s.rounds)));
+        s.learning_rate = args.get_double("eta", s.learning_rate);
+        s.client_ratio = args.get_double("ratio", s.client_ratio);
+        s.samples = static_cast<std::size_t>(
+            args.get_int("samples", static_cast<std::int64_t>(s.samples)));
+        s.noise_sigma = args.get_double("noise", s.noise_sigma);
+        s.iid = args.get_flag("iid", s.iid);
+        s.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+        return s;
+    }
+
+    /// Delay parameters with the per-batch compute cost normalized so the
+    /// expected T_local stays on the paper's ~6 s FedAvg axis regardless of
+    /// the shard size this setting produces (the paper's testbed trains
+    /// 600-sample MNIST shards in the same wall-clock budget).
+    [[nodiscard]] core::DelayParams delay_params() const {
+        core::DelayParams params;
+        const double per_client =
+            static_cast<double>(samples) * 0.85 /
+            static_cast<double>(clients);
+        const double steps =
+            static_cast<double>(epochs) *
+            std::max(1.0, std::ceil(per_client / static_cast<double>(batch)));
+        // Default calibration point: 25-sample shards -> 15 steps at 0.25 s.
+        params.seconds_per_batch = 0.25 * 15.0 / std::max(steps, 1.0);
+        return params;
+    }
+
+    [[nodiscard]] core::EnvironmentConfig environment() const {
+        core::EnvironmentConfig config;
+        config.data.samples = samples;
+        config.data.feature_dim = feature_dim;
+        config.data.noise_sigma = noise_sigma;
+        config.data.seed = seed;
+        config.partition.scheme = iid ? ml::PartitionScheme::kIid
+                                      : ml::PartitionScheme::kLabelShards;
+        config.partition.num_clients = clients;
+        config.partition.seed = seed;
+        return config;
+    }
+
+    [[nodiscard]] fl::FlConfig fl_config() const {
+        fl::FlConfig config;
+        config.client_ratio = client_ratio;
+        config.rounds = rounds;
+        config.sgd.learning_rate = learning_rate;
+        config.sgd.epochs = epochs;
+        config.sgd.batch_size = batch;
+        config.seed = seed;
+        return config;
+    }
+
+    [[nodiscard]] core::FairBflConfig fair_config() const {
+        core::FairBflConfig config;
+        config.fl = fl_config();
+        config.miners = miners;
+        config.delay = delay_params();
+        return config;
+    }
+
+    [[nodiscard]] core::BlockchainBaselineConfig blockchain_config() const {
+        core::BlockchainBaselineConfig config;
+        config.workers = clients;
+        config.miners = miners;
+        config.rounds = rounds;
+        config.seed = seed;
+        config.delay = delay_params();
+        return config;
+    }
+
+    /// FedProx with the paper's comparison knobs.  The default (Figure 4b)
+    /// keeps stragglers' partial work with a strong proximal pull -- the
+    /// "inexact solution" the paper credits for FedProx's lower, fluctuating
+    /// accuracy.  Figure 7b passes drop_percent=0.02 and discards.
+    [[nodiscard]] fl::FedProxConfig fedprox_config(
+        double drop_percent = 0.3) const {
+        fl::FedProxConfig config;
+        config.base = fl_config();
+        config.prox_mu = 0.5;
+        config.drop_percent = drop_percent;
+        config.keep_partial_work = drop_percent >= 0.1;
+        config.straggler_epoch_fraction = 0.2;
+        return config;
+    }
+};
+
+inline void print_run_summary(const core::SystemRun& run) {
+    std::printf("# %-14s avg_delay=%.3fs", run.name.c_str(),
+                run.average_delay);
+    if (run.final_accuracy > 0.0) {  // pure blockchain has no accuracy
+        std::printf(" avg_acc=%.4f final_acc=%.4f", run.average_accuracy,
+                    run.final_accuracy);
+        if (run.converged_round != support::ConvergenceDetector::npos) {
+            std::printf(" converged@round=%zu (t=%.1fs)", run.converged_round,
+                        run.converged_elapsed_seconds);
+        }
+    }
+    std::printf("\n");
+}
+
+}  // namespace fairbfl::benchx

@@ -1,0 +1,87 @@
+// Figure 4 -- "General comparison of FAIR-BFL and baselines".
+//   4a: average delay per communication round: FAIR sits between
+//       Blockchain (above) and FedAvg (below).
+//   4b: average accuracy vs wall-clock time: FAIR ~= FedAvg, FedProx lower
+//       and fluctuating after convergence.
+//
+//   ./bench/bench_fig4_general [--rounds=30] [--clients=100] [--miners=2]
+//                              [--paper] [--csv=prefix]
+
+#include "bench_common.hpp"
+
+using namespace fairbfl;
+
+int main(int argc, char** argv) {
+    support::CliArgs args(argc, argv);
+    if (args.help_requested()) {
+        std::puts("bench_fig4_general: reproduces Figure 4a (delay) and 4b "
+                  "(accuracy vs time)\n"
+                  "flags: --rounds --clients --miners --eta --ratio --samples "
+                  "--iid --seed --paper --csv=prefix");
+        return 0;
+    }
+    auto setting = benchx::BenchSetting::from_args(args);
+    setting.miners = static_cast<std::size_t>(
+        args.get_int("miners", static_cast<std::int64_t>(setting.miners)));
+    const std::string csv_prefix = args.get_string("csv", "");
+    if (!args.finish("bench_fig4_general")) return 1;
+
+    const core::Environment env =
+        core::build_environment(setting.environment());
+    const core::DelayParams delay = setting.delay_params();
+
+    const auto fair = core::run_fairbfl(env, setting.fair_config(), "FAIR");
+    const auto fedavg = core::run_fedavg(env, setting.fl_config(), delay);
+    const auto fedprox =
+        core::run_fedprox(env, setting.fedprox_config(), delay);
+    const auto blockchain =
+        core::run_blockchain(setting.blockchain_config());
+
+    // ---- Figure 4a: delay per round.
+    std::printf("## Figure 4a: average delay per communication round\n");
+    support::CsvWriter csv4a(std::cout);
+    if (!csv_prefix.empty()) csv4a.tee_to_file(csv_prefix + "_fig4a.csv");
+    csv4a.header({"round", "FAIR", "Blockchain", "FedAvg"});
+    for (std::size_t r = 0; r < setting.rounds; ++r) {
+        csv4a.row()
+            .col(static_cast<std::size_t>(r))
+            .col(fair.series[r].delay_seconds)
+            .col(blockchain.series[r].delay_seconds)
+            .col(fedavg.series[r].delay_seconds)
+            .end();
+    }
+
+    // ---- Figure 4b: accuracy vs elapsed simulated seconds.
+    std::printf("\n## Figure 4b: average accuracy vs time in seconds\n");
+    support::CsvWriter csv4b(std::cout);
+    if (!csv_prefix.empty()) csv4b.tee_to_file(csv_prefix + "_fig4b.csv");
+    csv4b.header({"system", "time_s", "accuracy"});
+    for (const auto* run : {&fair, &fedavg, &fedprox}) {
+        for (const auto& point : run->series) {
+            csv4b.row()
+                .col(run->name)
+                .col(point.elapsed_seconds)
+                .col(point.accuracy)
+                .end();
+        }
+    }
+
+    std::printf("\n## Summary (paper: FedAvg < FAIR < Blockchain on delay; "
+                "FAIR ~= FedAvg > FedProx on accuracy)\n");
+    benchx::print_run_summary(fedavg);
+    benchx::print_run_summary(fair);
+    benchx::print_run_summary(blockchain);
+    benchx::print_run_summary(fedprox);
+
+    const bool delay_order_holds =
+        fedavg.average_delay < fair.average_delay &&
+        fair.average_delay < blockchain.average_delay;
+    std::printf("# shape-check delay ordering FedAvg<FAIR<Blockchain: %s\n",
+                delay_order_holds ? "PASS" : "FAIL");
+    const bool accuracy_shape_holds =
+        fair.final_accuracy > fedprox.final_accuracy - 0.02 &&
+        std::abs(fair.final_accuracy - fedavg.final_accuracy) < 0.05;
+    std::printf("# shape-check accuracy FAIR~=FedAvg & >=FedProx: %s\n",
+                accuracy_shape_holds ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 6 -- "Average delay changes with the number of workers and miners".
+//   6a: workers n in [20, 120]: Blockchain delay grows (transaction
+//       queuing once n*tx_bytes crosses the block size, ~n=100);
+//       FAIR ~= FedAvg stay flat (Assumptions 1+2: one small block/round).
+//   6b: miners m in [2, 10], n=100: Blockchain delay grows steeply
+//       (forking probability rises with m); FAIR stays flat.
+//
+//   ./bench/bench_fig6_scalability [--rounds=15] [--paper] [--csv=prefix]
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace fairbfl;
+
+int main(int argc, char** argv) {
+    support::CliArgs args(argc, argv);
+    if (args.help_requested()) {
+        std::puts("bench_fig6_scalability: sweep workers (6a) and miners "
+                  "(6b)\nflags: --rounds --samples --iid --seed --paper "
+                  "--csv=prefix");
+        return 0;
+    }
+    auto setting = benchx::BenchSetting::from_args(args);
+    // Delay sweeps need fewer rounds than accuracy curves.
+    if (args.get_int("rounds", -1) < 0 && !args.get_flag("paper"))
+        setting.rounds = 15;
+    const std::string csv_prefix = args.get_string("csv", "");
+    if (!args.finish("bench_fig6_scalability")) return 1;
+
+    // ---- 6a: sweep workers.
+    std::printf("## Figure 6a: average delay vs number of workers (m=2)\n");
+    support::CsvWriter csv6a(std::cout);
+    if (!csv_prefix.empty()) csv6a.tee_to_file(csv_prefix + "_fig6a.csv");
+    csv6a.header({"workers", "FAIR", "Blockchain", "FedAvg"});
+
+    std::vector<double> blockchain_by_n;
+    std::vector<double> fair_by_n;
+    const core::DelayParams delay = setting.delay_params();
+    for (const std::size_t n : {20UL, 40UL, 60UL, 80UL, 100UL, 120UL}) {
+        auto local = setting;
+        local.clients = n;
+        // Per-client data is a property of the device, so the global pool
+        // scales with n (shard size constant), and the trainer count per
+        // round stays ~10 (ratio adapts): the only thing that changes with
+        // n is the transaction load -- the queuing story of Figure 6a.
+        local.samples = setting.samples * n / 100;
+        local.client_ratio =
+            std::min(1.0, 10.0 / static_cast<double>(n));
+        const core::Environment env =
+            core::build_environment(local.environment());
+
+        const auto fair = core::run_fairbfl(env, local.fair_config(), "FAIR");
+        const auto fedavg = core::run_fedavg(env, local.fl_config(), delay);
+        const auto blockchain =
+            core::run_blockchain(local.blockchain_config());
+
+        csv6a.row()
+            .col(n)
+            .col(fair.average_delay)
+            .col(blockchain.average_delay)
+            .col(fedavg.average_delay)
+            .end();
+        blockchain_by_n.push_back(blockchain.average_delay);
+        fair_by_n.push_back(fair.average_delay);
+    }
+    std::printf("# shape-check 6a: Blockchain grows with n: %s; "
+                "FAIR flat (max/min < 1.5): %s\n",
+                blockchain_by_n.back() > blockchain_by_n.front() * 1.5
+                    ? "PASS"
+                    : "FAIL",
+                *std::max_element(fair_by_n.begin(), fair_by_n.end()) /
+                            *std::min_element(fair_by_n.begin(),
+                                              fair_by_n.end()) <
+                        1.5
+                    ? "PASS"
+                    : "FAIL");
+
+    // ---- 6b: sweep miners at n=100.
+    std::printf("\n## Figure 6b: average delay vs number of miners (n=100)\n");
+    support::CsvWriter csv6b(std::cout);
+    if (!csv_prefix.empty()) csv6b.tee_to_file(csv_prefix + "_fig6b.csv");
+    csv6b.header({"miners", "FAIR", "Blockchain"});
+
+    std::vector<double> blockchain_by_m;
+    std::vector<double> fair_by_m;
+    auto local = setting;
+    local.clients = 100;
+    local.client_ratio = 0.1;
+    const core::Environment env =
+        core::build_environment(local.environment());
+    for (const std::size_t m : {2UL, 4UL, 6UL, 8UL, 10UL}) {
+        local.miners = m;
+        const auto fair = core::run_fairbfl(env, local.fair_config(), "FAIR");
+        const auto blockchain =
+            core::run_blockchain(local.blockchain_config());
+        csv6b.row()
+            .col(m)
+            .col(fair.average_delay)
+            .col(blockchain.average_delay)
+            .end();
+        blockchain_by_m.push_back(blockchain.average_delay);
+        fair_by_m.push_back(fair.average_delay);
+    }
+    std::printf("# shape-check 6b: Blockchain grows with m: %s; "
+                "FAIR flat-or-decreasing: %s\n",
+                blockchain_by_m.back() > blockchain_by_m.front() * 1.5
+                    ? "PASS"
+                    : "FAIL",
+                fair_by_m.back() < fair_by_m.front() * 1.3 ? "PASS" : "FAIL");
+    return 0;
+}

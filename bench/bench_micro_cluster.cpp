@@ -1,0 +1,78 @@
+// Engineering micro-benchmarks: DBSCAN / k-means over gradient-like point
+// sets (this is the T_gl cost of Procedure IV).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbscan.hpp"
+#include "cluster/kmeans.hpp"
+#include "incentive/contribution.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace fairbfl;
+
+std::vector<std::vector<float>> gradient_like_points(std::size_t n,
+                                                     std::size_t dim) {
+    support::Rng rng(7);
+    std::vector<float> base(dim);
+    for (auto& v : base) v = static_cast<float>(rng.normal());
+    std::vector<std::vector<float>> points(n);
+    for (auto& p : points) {
+        p = base;
+        for (auto& v : p) v += static_cast<float>(0.05 * rng.normal());
+    }
+    // 10% outliers.
+    for (std::size_t i = 0; i < n / 10; ++i) {
+        for (auto& v : points[i]) v = -v * 3.0F;
+    }
+    return points;
+}
+
+void BM_Dbscan(benchmark::State& state) {
+    const auto points =
+        gradient_like_points(static_cast<std::size_t>(state.range(0)), 650);
+    const cluster::Dbscan dbscan({.eps = 0.05, .min_pts = 3});
+    for (auto _ : state) benchmark::DoNotOptimize(dbscan.cluster(points));
+}
+BENCHMARK(BM_Dbscan)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+    const auto points =
+        gradient_like_points(static_cast<std::size_t>(state.range(0)), 650);
+    const cluster::KMeans kmeans({.k = 2});
+    for (auto _ : state) benchmark::DoNotOptimize(kmeans.cluster(points));
+}
+BENCHMARK(BM_KMeans)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SuggestEps(benchmark::State& state) {
+    const auto points =
+        gradient_like_points(static_cast<std::size_t>(state.range(0)), 650);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cluster::suggest_eps(points, 3));
+}
+BENCHMARK(BM_SuggestEps)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm2EndToEnd(benchmark::State& state) {
+    // Full contribution identification on a round's update set.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto points = gradient_like_points(n, 650);
+    std::vector<fl::GradientUpdate> updates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        updates[i].client = static_cast<fl::NodeId>(i);
+        updates[i].weights = points[i];
+    }
+    const auto provisional = fl::simple_average(updates);
+    const incentive::ContributionConfig config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            incentive::identify_contributions(updates, provisional, config));
+    }
+}
+BENCHMARK(BM_Algorithm2EndToEnd)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

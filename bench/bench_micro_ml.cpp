@@ -1,0 +1,100 @@
+// Engineering micro-benchmarks: model gradients, SGD epochs, accuracy
+// evaluation, aggregation.
+
+#include <benchmark/benchmark.h>
+
+#include "fl/aggregation.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/synthetic_mnist.hpp"
+#include "support/vecmath.hpp"
+
+namespace {
+
+using namespace fairbfl;
+
+const ml::Dataset& dataset() {
+    static const ml::Dataset data = ml::make_synthetic_mnist(
+        {.samples = 2000, .feature_dim = 64, .num_classes = 10, .seed = 1});
+    return data;
+}
+
+void BM_LogisticGradient(benchmark::State& state) {
+    const auto model = ml::make_logistic_regression(64, 10);
+    const auto batch = ml::DatasetView::all(dataset())
+                           .take(static_cast<std::size_t>(state.range(0)));
+    std::vector<float> params(model->param_count(), 0.01F);
+    std::vector<float> grad(params.size());
+    for (auto _ : state) {
+        support::fill(grad, 0.0F);
+        benchmark::DoNotOptimize(
+            model->loss_and_gradient(params, batch, grad));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_LogisticGradient)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MlpGradient(benchmark::State& state) {
+    const auto model = ml::make_mlp(64, 32, 10);
+    const auto batch = ml::DatasetView::all(dataset())
+                           .take(static_cast<std::size_t>(state.range(0)));
+    std::vector<float> params(model->param_count());
+    support::Rng rng(2);
+    model->init_params(params, rng);
+    std::vector<float> grad(params.size());
+    for (auto _ : state) {
+        support::fill(grad, 0.0F);
+        benchmark::DoNotOptimize(
+            model->loss_and_gradient(params, batch, grad));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_MlpGradient)->Arg(10)->Arg(100);
+
+void BM_SgdLocalEpochs(benchmark::State& state) {
+    // One client's Procedure I at the paper's E=5, B=10 on a 60-sample
+    // shard (n=100 over 6000 samples).
+    const auto model = ml::make_logistic_regression(64, 10);
+    const auto shard = ml::DatasetView::all(dataset()).take(60);
+    ml::SgdParams sgd;
+    sgd.epochs = 5;
+    sgd.batch_size = 10;
+    std::vector<float> init(model->param_count(), 0.01F);
+    for (auto _ : state) {
+        auto params = init;
+        support::Rng rng(3);
+        benchmark::DoNotOptimize(sgd_train(*model, params, shard, sgd, rng));
+    }
+}
+BENCHMARK(BM_SgdLocalEpochs)->Unit(benchmark::kMillisecond);
+
+void BM_AccuracyEval(benchmark::State& state) {
+    const auto model = ml::make_logistic_regression(64, 10);
+    const auto view = ml::DatasetView::all(dataset())
+                          .take(static_cast<std::size_t>(state.range(0)));
+    std::vector<float> params(model->param_count(), 0.01F);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model->accuracy(params, view));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AccuracyEval)->Arg(100)->Arg(1000);
+
+void BM_Aggregation(benchmark::State& state) {
+    std::vector<fl::GradientUpdate> updates(
+        static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+        updates[i].client = static_cast<fl::NodeId>(i);
+        updates[i].weights.assign(650, static_cast<float>(i));
+        updates[i].num_samples = 60;
+    }
+    std::vector<double> theta(updates.size(), 0.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fl::simple_average(updates));
+        benchmark::DoNotOptimize(fl::fair_aggregate(updates, theta));
+    }
+}
+BENCHMARK(BM_Aggregation)->Arg(10)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Poisoning defense: malicious clients forge gradients every round; the
+// contribution-based incentive mechanism (Algorithm 2 + DBSCAN) flags and
+// discards them.  Prints a per-round report in the style of the paper's
+// Table 2, then compares final accuracy with and without the defense.
+//
+//   ./examples/poisoning_defense [--rounds=10] [--attackers=3] [--iid]
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "support/cli.hpp"
+
+namespace core = fairbfl::core;
+namespace ml = fairbfl::ml;
+namespace inc = fairbfl::incentive;
+
+namespace {
+
+std::string ids_to_string(const std::vector<fairbfl::fl::NodeId>& ids) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(ids[i]);
+    }
+    return out + "]";
+}
+
+core::FairBflConfig attack_config(std::size_t rounds, std::size_t attackers,
+                                  bool discard) {
+    core::FairBflConfig config;
+    config.fl.client_ratio = 1.0;  // all 10 clients, as in Table 2
+    config.fl.rounds = rounds;
+    config.fl.sgd.learning_rate = 0.05;
+    config.fl.sgd.epochs = 5;
+    config.fl.sgd.batch_size = 10;
+    config.fl.seed = 42;
+    config.attack.kind = core::AttackKind::kSignFlip;
+    config.attack.magnitude = 3.0;
+    config.attack.min_attackers = 1;
+    config.attack.max_attackers = attackers;
+    config.incentive.strategy = discard
+                                    ? inc::LowContributionStrategy::kDiscard
+                                    : inc::LowContributionStrategy::kKeepAll;
+    return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fairbfl::support::CliArgs args(argc, argv);
+    if (args.help_requested()) {
+        std::puts(
+            "poisoning_defense: Table-2-style attack detection demo\n"
+            "  --rounds=N     rounds (default 10)\n"
+            "  --attackers=N  max attackers/round (default 3)\n"
+            "  --iid          use IID partition (default non-IID)");
+        return 0;
+    }
+    const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
+    const auto attackers =
+        static_cast<std::size_t>(args.get_int("attackers", 3));
+    const bool iid = args.get_flag("iid");
+    if (!args.finish("poisoning_defense")) return 1;
+
+    core::EnvironmentConfig env_config;
+    env_config.data.samples = 1500;
+    env_config.data.seed = 42;
+    env_config.partition.scheme = iid ? ml::PartitionScheme::kIid
+                                      : ml::PartitionScheme::kLabelShards;
+    env_config.partition.num_clients = 10;
+    env_config.partition.seed = 42;
+    const core::Environment env = core::build_environment(env_config);
+
+    std::printf("distribution: %s, 10 clients, 1-%zu sign-flip attackers "
+                "per round\n\n",
+                iid ? "IID" : "non-IID", attackers);
+    std::printf("%-6s %-22s %-22s %s\n", "round", "attacker index",
+                "drop index", "detection rate");
+
+    core::FairBfl defended(*env.model, env.make_clients(), env.test,
+                           attack_config(rounds, attackers, true));
+    double mean_detection = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const auto record = defended.run_round();
+        mean_detection += record.detection_rate;
+        std::printf("%-6llu %-22s %-22s %.2f%%\n",
+                    static_cast<unsigned long long>(record.fl.round),
+                    ids_to_string(record.attacker_clients).c_str(),
+                    ids_to_string(record.low_contribution_clients).c_str(),
+                    100.0 * record.detection_rate);
+    }
+    std::printf("\naverage detection rate: %.2f%%\n",
+                100.0 * mean_detection / static_cast<double>(rounds));
+
+    // Undefended comparison (keep-all aggregation under the same attack).
+    core::FairBfl undefended(*env.model, env.make_clients(), env.test,
+                             attack_config(rounds, attackers, false));
+    double undefended_acc = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r)
+        undefended_acc = undefended.run_round().fl.test_accuracy;
+
+    const double defended_acc =
+        env.model->accuracy(defended.weights(), env.test);
+    std::printf("final accuracy with discard defense: %.4f\n", defended_acc);
+    std::printf("final accuracy without defense:      %.4f\n", undefended_acc);
+    return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+// Canonical little-endian binary serialization used by every on-chain
+// structure.  Hashes and signatures are computed over these encodings, so
+// the encoding must be deterministic and self-delimiting.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairbfl::chain {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian integers and length-prefixed blobs.
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f32(float v);
+    void f64(double v);
+    /// Length-prefixed (u32) blob.
+    void blob(std::span<const std::uint8_t> data);
+    /// Length-prefixed (u32) UTF-8 string.
+    void str(std::string_view text);
+    /// Length-prefixed (u32) float vector.
+    void f32_vector(std::span<const float> values);
+    /// Raw bytes, no length prefix (for fixed-size fields like digests).
+    void raw(std::span<const std::uint8_t> data);
+
+    [[nodiscard]] const Bytes& bytes() const noexcept { return out_; }
+    [[nodiscard]] Bytes take() noexcept { return std::move(out_); }
+    [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+private:
+    Bytes out_;
+};
+
+/// Mirror-image reader; throws std::out_of_range on truncated input.
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] float f32();
+    [[nodiscard]] double f64();
+    [[nodiscard]] Bytes blob();
+    [[nodiscard]] std::string str();
+    [[nodiscard]] std::vector<float> f32_vector();
+    /// Reads exactly n raw bytes.
+    [[nodiscard]] Bytes raw(std::size_t n);
+
+    [[nodiscard]] bool exhausted() const noexcept {
+        return cursor_ == data_.size();
+    }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return data_.size() - cursor_;
+    }
+
+private:
+    void need(std::size_t n) const;
+    std::span<const std::uint8_t> data_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace fairbfl::chain

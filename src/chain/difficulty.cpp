@@ -1,0 +1,44 @@
+#include "chain/difficulty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbfl::chain {
+
+DifficultyRetargeter::DifficultyRetargeter(std::uint64_t initial_difficulty,
+                                           RetargetParams params)
+    : params_(params),
+      difficulty_(std::clamp(initial_difficulty, params.min_difficulty,
+                             params.max_difficulty)) {
+    pending_.reserve(params_.window);
+}
+
+void DifficultyRetargeter::observe_interval(double seconds) {
+    pending_.push_back(std::max(seconds, 0.0));
+    if (pending_.size() < params_.window) return;
+
+    double mean = 0.0;
+    for (const double s : pending_) mean += s;
+    mean /= static_cast<double>(pending_.size());
+    pending_.clear();
+    ++retargets_;
+
+    // Blocks came too fast -> raise difficulty proportionally (and vice
+    // versa), clamped to one max_step per adjustment.
+    double factor = params_.target_interval_s <= 0.0
+                        ? 1.0
+                        : params_.target_interval_s / std::max(mean, 1e-9);
+    factor = std::clamp(factor, 1.0 / params_.max_step, params_.max_step);
+
+    const double adjusted =
+        std::floor(static_cast<double>(difficulty_) * factor);
+    if (adjusted >= static_cast<double>(params_.max_difficulty)) {
+        difficulty_ = params_.max_difficulty;
+    } else if (adjusted <= static_cast<double>(params_.min_difficulty)) {
+        difficulty_ = params_.min_difficulty;
+    } else {
+        difficulty_ = static_cast<std::uint64_t>(adjusted);
+    }
+}
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,51 @@
+#pragma once
+// Difficulty retargeting.
+//
+// The delay model assumes the network keeps a constant mean block interval
+// as the fleet grows (DESIGN.md); this module is the mechanism that does
+// it: a windowed retargeter in the style of Bitcoin's 2016-block rule,
+// clamped per adjustment to avoid oscillation.  FAIR-BFL deployments
+// retarget between communication rounds so the mining competition neither
+// stalls the round (too hard) nor trivializes consensus (too easy).
+
+#include <cstdint>
+#include <vector>
+
+namespace fairbfl::chain {
+
+struct RetargetParams {
+    double target_interval_s = 3.0;  ///< desired mean solve time
+    std::size_t window = 8;          ///< blocks averaged per adjustment
+    double max_step = 4.0;           ///< clamp factor per retarget (>1)
+    std::uint64_t min_difficulty = 1;
+    std::uint64_t max_difficulty = ~0ULL >> 8;  ///< headroom vs. kTarget1
+};
+
+class DifficultyRetargeter {
+public:
+    explicit DifficultyRetargeter(std::uint64_t initial_difficulty,
+                                  RetargetParams params = {});
+
+    /// Records one observed block interval; every `window` observations the
+    /// difficulty adjusts by clamp(observed_mean / target, 1/max_step,
+    /// max_step).
+    void observe_interval(double seconds);
+
+    [[nodiscard]] std::uint64_t difficulty() const noexcept {
+        return difficulty_;
+    }
+    [[nodiscard]] std::size_t retarget_count() const noexcept {
+        return retargets_;
+    }
+    [[nodiscard]] const RetargetParams& params() const noexcept {
+        return params_;
+    }
+
+private:
+    RetargetParams params_;
+    std::uint64_t difficulty_;
+    std::vector<double> pending_;
+    std::size_t retargets_ = 0;
+};
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,64 @@
+#include "chain/merkle.hpp"
+
+#include <stdexcept>
+
+namespace fairbfl::chain {
+
+namespace {
+
+crypto::Digest hash_pair(const crypto::Digest& left,
+                         const crypto::Digest& right) {
+    crypto::Sha256 hasher;
+    hasher.update(left);
+    hasher.update(right);
+    return hasher.finish();
+}
+
+}  // namespace
+
+crypto::Digest merkle_root(const std::vector<crypto::Digest>& leaves) {
+    if (leaves.empty()) return crypto::Sha256::hash(std::string_view{});
+    std::vector<crypto::Digest> level = leaves;
+    while (level.size() > 1) {
+        if (level.size() % 2 != 0) level.push_back(level.back());
+        std::vector<crypto::Digest> next;
+        next.reserve(level.size() / 2);
+        for (std::size_t i = 0; i < level.size(); i += 2)
+            next.push_back(hash_pair(level[i], level[i + 1]));
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+MerkleProof merkle_proof(const std::vector<crypto::Digest>& leaves,
+                         std::size_t index) {
+    if (index >= leaves.size())
+        throw std::out_of_range("merkle_proof: leaf index out of range");
+    MerkleProof proof;
+    std::vector<crypto::Digest> level = leaves;
+    while (level.size() > 1) {
+        if (level.size() % 2 != 0) level.push_back(level.back());
+        const std::size_t sibling =
+            index % 2 == 0 ? index + 1 : index - 1;
+        proof.push_back(MerkleStep{level[sibling], sibling < index});
+        std::vector<crypto::Digest> next;
+        next.reserve(level.size() / 2);
+        for (std::size_t i = 0; i < level.size(); i += 2)
+            next.push_back(hash_pair(level[i], level[i + 1]));
+        level = std::move(next);
+        index /= 2;
+    }
+    return proof;
+}
+
+crypto::Digest merkle_apply(const crypto::Digest& leaf,
+                            const MerkleProof& proof) {
+    crypto::Digest acc = leaf;
+    for (const MerkleStep& step : proof) {
+        acc = step.sibling_on_left ? hash_pair(step.sibling, acc)
+                                   : hash_pair(acc, step.sibling);
+    }
+    return acc;
+}
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,32 @@
+#pragma once
+// Merkle tree over transaction ids (Bitcoin-style: odd layers duplicate the
+// last node).  Blocks commit to their transaction set via the root, and
+// light verification of a single transaction uses an audit path.
+
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace fairbfl::chain {
+
+/// Root over the given leaf digests.  An empty set hashes to the digest of
+/// the empty string (a fixed sentinel).
+[[nodiscard]] crypto::Digest merkle_root(
+    const std::vector<crypto::Digest>& leaves);
+
+/// One step of an audit path.
+struct MerkleStep {
+    crypto::Digest sibling;
+    bool sibling_on_left = false;
+};
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Audit path for leaf `index`; index must be < leaves.size().
+[[nodiscard]] MerkleProof merkle_proof(const std::vector<crypto::Digest>& leaves,
+                                       std::size_t index);
+
+/// Recomputes the root from a leaf and its audit path.
+[[nodiscard]] crypto::Digest merkle_apply(const crypto::Digest& leaf,
+                                          const MerkleProof& proof);
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,65 @@
+#include "chain/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbfl::chain {
+
+double NetworkModel::link_seconds(double base_latency, double bandwidth,
+                                  double jitter_sigma,
+                                  std::size_t payload_bytes,
+                                  support::Rng& rng) const {
+    const double transfer =
+        static_cast<double>(payload_bytes) / std::max(bandwidth, 1.0);
+    // Lognormal jitter with unit median: exp(sigma * N(0,1)).
+    const double jitter = std::exp(jitter_sigma * rng.normal());
+    return (base_latency + transfer) * jitter;
+}
+
+double NetworkModel::client_upload_seconds(std::size_t payload_bytes,
+                                           support::Rng& rng) const {
+    double seconds =
+        link_seconds(params_.client_base_latency_s, params_.client_bandwidth_Bps,
+                     params_.client_jitter_sigma, payload_bytes, rng);
+    if (rng.bernoulli(params_.disturbance_prob))
+        seconds *= params_.disturbance_penalty;
+    return seconds;
+}
+
+double NetworkModel::miner_link_seconds(std::size_t payload_bytes,
+                                        support::Rng& rng) const {
+    return link_seconds(params_.miner_base_latency_s,
+                        params_.miner_bandwidth_Bps, params_.miner_jitter_sigma,
+                        payload_bytes, rng);
+}
+
+double NetworkModel::exchange_seconds(std::size_t miners,
+                                      std::size_t bytes_per_miner,
+                                      support::Rng& rng) const {
+    if (miners <= 1) return 0.0;
+    // Each of the m miners broadcasts its set; the phase ends when the
+    // slowest of the m broadcasts lands everywhere.  Per-broadcast time is
+    // one link transfer (links run in parallel); the max over miners gives
+    // the O(m)-flavoured growth the paper describes for T_ex.
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < miners; ++i) {
+        slowest = std::max(slowest, miner_link_seconds(bytes_per_miner, rng));
+    }
+    return slowest;
+}
+
+double NetworkModel::block_propagation_seconds(std::size_t miners,
+                                               std::size_t block_bytes,
+                                               support::Rng& rng) const {
+    if (miners <= 1) return 0.0;
+    // Sequential relay: transfer + validate at every hop.
+    const double validation = params_.relay_validation_s_per_byte *
+                              static_cast<double>(block_bytes);
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < miners; ++i) {
+        total += miner_link_seconds(block_bytes, rng) + validation;
+    }
+    return total;
+}
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,83 @@
+#pragma once
+// Simulated network: the delay substrate behind T_up (client->miner upload),
+// T_ex (miner gradient exchange) and block propagation.
+//
+// The paper's §4.2 notes clients sit "at the edge of the network" with
+// channel quality that is "difficult to guarantee"; we model an edge link
+// as base latency + payload/bandwidth + lognormal jitter, and miner-to-miner
+// links as fast datacenter links.  All parameters are adopter-tunable.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace fairbfl::chain {
+
+struct NetworkParams {
+    // Client (edge) uplink.
+    double client_base_latency_s = 0.05;   ///< RTT floor per upload
+    double client_bandwidth_Bps = 2.0e6;   ///< ~16 Mbit/s edge uplink
+    double client_jitter_sigma = 0.35;     ///< lognormal sigma on latency
+
+    // Miner-to-miner (well-provisioned) links.
+    double miner_base_latency_s = 0.01;
+    double miner_bandwidth_Bps = 50.0e6;
+    double miner_jitter_sigma = 0.10;
+
+    /// Probability an edge upload experiences a disturbance (retransmit),
+    /// multiplying its latency by `disturbance_penalty`.
+    double disturbance_prob = 0.02;
+    double disturbance_penalty = 4.0;
+
+    /// Per-byte block-validation cost paid at every gossip hop (each miner
+    /// verifies a block before relaying it).  Dominates propagation for
+    /// full blocks; negligible for FAIR-BFL's single-gradient blocks.
+    double relay_validation_s_per_byte = 3e-6;
+};
+
+/// Stateless sampler: all state lives in the caller-provided Rng so network
+/// draws stay on deterministic per-entity streams.
+class NetworkModel {
+public:
+    explicit NetworkModel(NetworkParams params = {}) noexcept
+        : params_(params) {}
+
+    [[nodiscard]] const NetworkParams& params() const noexcept {
+        return params_;
+    }
+
+    /// Seconds for one client to upload `payload_bytes` to its miner.
+    [[nodiscard]] double client_upload_seconds(std::size_t payload_bytes,
+                                               support::Rng& rng) const;
+
+    /// Seconds for one miner-to-miner transfer of `payload_bytes`.
+    [[nodiscard]] double miner_link_seconds(std::size_t payload_bytes,
+                                            support::Rng& rng) const;
+
+    /// Seconds for all-to-all gradient-set exchange among `miners` nodes,
+    /// payload `bytes_per_miner` each: every miner broadcasts once and the
+    /// phase completes when the slowest link finishes (paper: T_ex, O(m)).
+    [[nodiscard]] double exchange_seconds(std::size_t miners,
+                                          std::size_t bytes_per_miner,
+                                          support::Rng& rng) const;
+
+    /// Seconds for a freshly mined block of `block_bytes` to reach all
+    /// `miners` peers.  Modelled as a relay chain: each of the m-1 hops
+    /// transfers the block and validates it before forwarding, so
+    /// propagation grows with both the miner count and the block size --
+    /// the fork window behind the paper's Figure 6b.
+    [[nodiscard]] double block_propagation_seconds(std::size_t miners,
+                                                   std::size_t block_bytes,
+                                                   support::Rng& rng) const;
+
+private:
+    [[nodiscard]] double link_seconds(double base_latency, double bandwidth,
+                                      double jitter_sigma,
+                                      std::size_t payload_bytes,
+                                      support::Rng& rng) const;
+
+    NetworkParams params_;
+};
+
+}  // namespace fairbfl::chain

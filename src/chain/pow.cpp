@@ -1,0 +1,34 @@
+#include "chain/pow.hpp"
+
+namespace fairbfl::chain {
+
+std::uint64_t target_for_difficulty(std::uint64_t difficulty) noexcept {
+    if (difficulty <= 1) return kTarget1;
+    return kTarget1 / difficulty;
+}
+
+bool meets_target(const crypto::Digest& hash,
+                  std::uint64_t difficulty) noexcept {
+    return crypto::leading64(hash) < target_for_difficulty(difficulty);
+}
+
+std::optional<MineResult> mine(BlockHeader header, std::uint64_t max_attempts,
+                               std::uint64_t start_nonce) {
+    header.nonce = start_nonce;
+    for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+        const crypto::Digest digest = header.hash();
+        if (meets_target(digest, header.difficulty))
+            return MineResult{header.nonce, digest, attempt + 1};
+        ++header.nonce;
+    }
+    return std::nullopt;
+}
+
+double sample_mining_seconds(double hashes_per_second,
+                             std::uint64_t difficulty, support::Rng& rng) {
+    const double rate =
+        hashes_per_second / static_cast<double>(difficulty == 0 ? 1 : difficulty);
+    return rng.exponential(rate);
+}
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,53 @@
+#pragma once
+// Proof-of-work: the hash puzzle of paper Eq. 4,
+//     H(nonce + Block) < Target = Target_1 / difficulty.
+//
+// Two forms coexist:
+//  * `mine` / `meets_target` run the *actual* SHA-256 nonce search (used by
+//    tests, examples, and the micro benches);
+//  * `sample_mining_seconds` draws a simulated solve time from the
+//    exponential race distribution (used by the delay model, where running
+//    real hashes for 100 rounds x many miners would dominate runtime
+//    without changing any reported comparison).
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/block.hpp"
+#include "support/rng.hpp"
+
+namespace fairbfl::chain {
+
+/// The maximum target (difficulty 1): 2^64 - 1 compared against the first
+/// 8 bytes of the digest.  Difficulty d shrinks the target d-fold, so a
+/// random hash succeeds with probability ~ 1/d per attempt.
+inline constexpr std::uint64_t kTarget1 = ~0ULL;
+
+/// Target for a difficulty (difficulty 0 is clamped to 1).
+[[nodiscard]] std::uint64_t target_for_difficulty(std::uint64_t difficulty) noexcept;
+
+/// Whether a header hash satisfies its difficulty's target.
+[[nodiscard]] bool meets_target(const crypto::Digest& hash,
+                                std::uint64_t difficulty) noexcept;
+
+/// Result of a real nonce search.
+struct MineResult {
+    std::uint64_t nonce = 0;
+    crypto::Digest hash{};
+    std::uint64_t attempts = 0;
+};
+
+/// Searches nonces starting from `start_nonce` until the target is met or
+/// `max_attempts` hashes were tried.  Returns nullopt on exhaustion.
+[[nodiscard]] std::optional<MineResult> mine(BlockHeader header,
+                                             std::uint64_t max_attempts,
+                                             std::uint64_t start_nonce = 0);
+
+/// Simulated solve time: a miner hashing at `hashes_per_second` against
+/// `difficulty` solves after Exp(rate) seconds with
+/// rate = hashes_per_second / difficulty.
+[[nodiscard]] double sample_mining_seconds(double hashes_per_second,
+                                           std::uint64_t difficulty,
+                                           support::Rng& rng);
+
+}  // namespace fairbfl::chain

@@ -1,0 +1,43 @@
+#pragma once
+// Common clustering interface.  The paper's Algorithm 2 is parameterized on
+// "any suitable clustering algorithm"; this interface is the seam where
+// adopters plug theirs in (DBSCAN and k-means ship in-tree).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/distance.hpp"
+
+namespace fairbfl::cluster {
+
+struct ClusterResult {
+    /// Per-point cluster label; kNoise for DBSCAN outliers.
+    std::vector<int> labels;
+    /// Number of clusters found (labels range over [0, num_clusters)).
+    int num_clusters = 0;
+
+    static constexpr int kNoise = -1;
+
+    /// True when points i and j share a (non-noise) cluster.
+    [[nodiscard]] bool same_cluster(std::size_t i, std::size_t j) const {
+        return labels[i] != kNoise && labels[i] == labels[j];
+    }
+    /// Members of a cluster.
+    [[nodiscard]] std::vector<std::size_t> members_of(int cluster) const {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < labels.size(); ++i)
+            if (labels[i] == cluster) members.push_back(i);
+        return members;
+    }
+};
+
+class ClusteringAlgorithm {
+public:
+    virtual ~ClusteringAlgorithm() = default;
+    [[nodiscard]] virtual ClusterResult cluster(
+        std::span<const std::vector<float>> points) const = 0;
+    [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace fairbfl::cluster

@@ -1,0 +1,80 @@
+#include "cluster/dbscan.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace fairbfl::cluster {
+
+ClusterResult Dbscan::cluster(
+    std::span<const std::vector<float>> points) const {
+    ClusterResult result;
+    const std::size_t n = points.size();
+    result.labels.assign(n, ClusterResult::kNoise);
+    if (n == 0) return result;
+
+    const DistanceMatrix dist(params_.metric, points);
+
+    // Neighbourhoods (self included, matching the classic formulation).
+    std::vector<std::vector<std::size_t>> neighbours(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (dist.at(i, j) <= params_.eps) neighbours[i].push_back(j);
+        }
+    }
+
+    constexpr int kUnvisited = -2;
+    std::vector<int> label(n, kUnvisited);
+    int next_cluster = 0;
+
+    for (std::size_t seed = 0; seed < n; ++seed) {
+        if (label[seed] != kUnvisited) continue;
+        if (neighbours[seed].size() < params_.min_pts) {
+            label[seed] = ClusterResult::kNoise;
+            continue;
+        }
+        // Grow a new cluster from this core point (BFS frontier).
+        const int cluster = next_cluster++;
+        label[seed] = cluster;
+        std::deque<std::size_t> frontier(neighbours[seed].begin(),
+                                         neighbours[seed].end());
+        while (!frontier.empty()) {
+            const std::size_t p = frontier.front();
+            frontier.pop_front();
+            if (label[p] == ClusterResult::kNoise)
+                label[p] = cluster;  // border point adopted by the cluster
+            if (label[p] != kUnvisited) continue;
+            label[p] = cluster;
+            if (neighbours[p].size() >= params_.min_pts) {
+                frontier.insert(frontier.end(), neighbours[p].begin(),
+                                neighbours[p].end());
+            }
+        }
+    }
+
+    result.labels.assign(label.begin(), label.end());
+    result.num_clusters = next_cluster;
+    return result;
+}
+
+double suggest_eps(std::span<const std::vector<float>> points,
+                   std::size_t min_pts, Metric metric) {
+    const std::size_t n = points.size();
+    if (n <= min_pts) return 0.1;
+    const DistanceMatrix dist(metric, points);
+    std::vector<double> kth;
+    kth.reserve(n);
+    std::vector<double> row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) row[j] = dist.at(i, j);
+        std::nth_element(row.begin(),
+                         row.begin() + static_cast<std::ptrdiff_t>(min_pts),
+                         row.end());
+        kth.push_back(row[min_pts]);
+    }
+    std::nth_element(kth.begin(),
+                     kth.begin() + static_cast<std::ptrdiff_t>(kth.size() / 2),
+                     kth.end());
+    return kth[kth.size() / 2];
+}
+
+}  // namespace fairbfl::cluster

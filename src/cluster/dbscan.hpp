@@ -1,0 +1,46 @@
+#pragma once
+// DBSCAN (Ester et al., KDD'96) -- the paper's default clustering algorithm
+// for contribution identification ("we use DBSCAN in experiments by default
+// because it is efficient and straightforward").
+//
+// Density-based: points with >= min_pts neighbours within eps become cores;
+// cores chain into clusters; everything unreachable is noise.  Forged
+// gradients land in noise / minority clusters because they are far (in
+// cosine distance) from the honest majority.
+
+#include <memory>
+
+#include "cluster/clustering.hpp"
+
+namespace fairbfl::cluster {
+
+struct DbscanParams {
+    double eps = 0.05;         ///< neighbourhood radius (metric units)
+    std::size_t min_pts = 3;   ///< neighbours (incl. self) to be a core
+    Metric metric = Metric::kCosine;
+};
+
+class Dbscan final : public ClusteringAlgorithm {
+public:
+    explicit Dbscan(DbscanParams params = {}) noexcept : params_(params) {}
+
+    [[nodiscard]] ClusterResult cluster(
+        std::span<const std::vector<float>> points) const override;
+    [[nodiscard]] const char* name() const override { return "dbscan"; }
+
+    [[nodiscard]] const DbscanParams& params() const noexcept {
+        return params_;
+    }
+
+private:
+    DbscanParams params_;
+};
+
+/// Heuristic eps: median of each point's k-th nearest-neighbour distance
+/// (k = min_pts).  Lets Algorithm 2 adapt eps per round as gradients shrink
+/// with convergence.
+[[nodiscard]] double suggest_eps(std::span<const std::vector<float>> points,
+                                 std::size_t min_pts,
+                                 Metric metric = Metric::kCosine);
+
+}  // namespace fairbfl::cluster

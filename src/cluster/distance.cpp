@@ -1,0 +1,32 @@
+#include "cluster/distance.hpp"
+
+#include <cmath>
+
+#include "support/vecmath.hpp"
+
+namespace fairbfl::cluster {
+
+double distance(Metric metric, std::span<const float> a,
+                std::span<const float> b) noexcept {
+    switch (metric) {
+        case Metric::kCosine:
+            return support::cosine_distance(a, b);
+        case Metric::kEuclidean:
+            return std::sqrt(support::squared_distance(a, b));
+    }
+    return 0.0;
+}
+
+DistanceMatrix::DistanceMatrix(Metric metric,
+                               std::span<const std::vector<float>> points)
+    : n_(points.size()), values_(points.size() * points.size(), 0.0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = i + 1; j < n_; ++j) {
+            const double d = distance(metric, points[i], points[j]);
+            values_[i * n_ + j] = d;
+            values_[j * n_ + i] = d;
+        }
+    }
+}
+
+}  // namespace fairbfl::cluster

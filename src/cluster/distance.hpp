@@ -1,0 +1,36 @@
+#pragma once
+// Distance metrics and the pairwise-distance matrix used by the clustering
+// algorithms of Algorithm 2.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fairbfl::cluster {
+
+enum class Metric : std::uint8_t {
+    kCosine = 0,     ///< 1 - cos(x, y); the paper's default (theta_i)
+    kEuclidean = 1,  ///< L2 distance
+};
+
+/// Distance between two vectors under the metric.
+[[nodiscard]] double distance(Metric metric, std::span<const float> a,
+                              std::span<const float> b) noexcept;
+
+/// Symmetric n x n pairwise distance matrix (row-major, zero diagonal).
+class DistanceMatrix {
+public:
+    DistanceMatrix(Metric metric,
+                   std::span<const std::vector<float>> points);
+
+    [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept {
+        return values_[i * n_ + j];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+private:
+    std::size_t n_;
+    std::vector<double> values_;
+};
+
+}  // namespace fairbfl::cluster

@@ -1,0 +1,38 @@
+#pragma once
+// k-means (Lloyd's algorithm with k-means++ seeding) -- the alternate
+// clustering algorithm for Algorithm 2, demonstrating the paper's claim
+// that "any suitable clustering algorithm can be used here as needed".
+//
+// Under the cosine metric, points are L2-normalized first (spherical
+// k-means), so centroids live on the unit sphere like the gradients'
+// direction vectors.
+
+#include "cluster/clustering.hpp"
+#include "support/rng.hpp"
+
+namespace fairbfl::cluster {
+
+struct KMeansParams {
+    std::size_t k = 2;
+    std::size_t max_iterations = 50;
+    Metric metric = Metric::kCosine;
+    std::uint64_t seed = 42;
+};
+
+class KMeans final : public ClusteringAlgorithm {
+public:
+    explicit KMeans(KMeansParams params = {}) noexcept : params_(params) {}
+
+    [[nodiscard]] ClusterResult cluster(
+        std::span<const std::vector<float>> points) const override;
+    [[nodiscard]] const char* name() const override { return "kmeans"; }
+
+    [[nodiscard]] const KMeansParams& params() const noexcept {
+        return params_;
+    }
+
+private:
+    KMeansParams params_;
+};
+
+}  // namespace fairbfl::cluster

@@ -1,0 +1,95 @@
+#include "core/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbfl::core {
+
+DelayModel::DelayModel(DelayParams params) noexcept
+    : params_(params), network_(params.network) {}
+
+double DelayModel::hetero_factor(std::size_t client_id,
+                                 std::uint64_t seed) const {
+    // Fixed per client for the whole run: a slow device is always slow.
+    auto rng = support::Rng::fork(seed, 0x48E7 + client_id);
+    return std::exp(params_.compute_hetero_sigma * rng.normal());
+}
+
+double DelayModel::t_local(std::span<const std::size_t> client_ids,
+                           std::span<const std::size_t> batch_steps,
+                           std::uint64_t seed) const {
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < client_ids.size(); ++i) {
+        const double t = params_.seconds_per_batch *
+                         static_cast<double>(batch_steps[i]) *
+                         hetero_factor(client_ids[i], seed);
+        slowest = std::max(slowest, t);
+    }
+    return slowest;
+}
+
+double DelayModel::t_up(std::size_t clients, std::size_t payload_bytes,
+                        support::Rng& rng) const {
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < clients; ++i) {
+        slowest =
+            std::max(slowest, network_.client_upload_seconds(payload_bytes, rng));
+    }
+    return slowest;
+}
+
+double DelayModel::t_ex(std::size_t miners, std::size_t set_bytes,
+                        support::Rng& rng) const {
+    return network_.exchange_seconds(miners, set_bytes, rng);
+}
+
+double DelayModel::t_gl(std::size_t updates,
+                        std::size_t clustered_points) const noexcept {
+    return params_.seconds_per_aggregated_update *
+               static_cast<double>(updates) +
+           params_.seconds_per_clustered_pair *
+               static_cast<double>(clustered_points * clustered_points);
+}
+
+double DelayModel::t_bl_fair(std::size_t miners, std::size_t block_bytes,
+                             support::Rng& rng) const {
+    miners = std::max<std::size_t>(miners, 1);
+    // Difficulty retargeting: per-miner rate scales as 1/m so the fleet's
+    // block interval stays at difficulty / hashes_per_second.
+    const chain::MiningRace race(
+        chain::uniform_miners(miners, params_.miner_hashes_per_second /
+                                          static_cast<double>(miners)),
+        network_, params_.difficulty);
+    return race.run(block_bytes, /*allow_forks=*/false, rng).total_seconds();
+}
+
+double DelayModel::t_bl_vanilla(std::size_t miners, std::size_t blocks,
+                                std::size_t block_bytes, support::Rng& rng,
+                                std::size_t* forks_out,
+                                double* merge_seconds_out) const {
+    miners = std::max<std::size_t>(miners, 1);
+    const chain::MiningRace race(
+        chain::uniform_miners(miners, params_.miner_hashes_per_second /
+                                          static_cast<double>(miners)),
+        network_, params_.difficulty);
+    double total = 0.0;
+    std::size_t forks = 0;
+    double merge_seconds = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const chain::RaceOutcome outcome =
+            race.run(block_bytes, /*allow_forks=*/true, rng);
+        total += outcome.total_seconds();
+        if (outcome.forked) {
+            ++forks;
+            merge_seconds += outcome.fork_merge_seconds;
+        }
+        // Asynchronous mining wastes part of a block interval on empty
+        // blocks (miners keep hashing while FL is still computing).
+        total += params_.idle_mining_fraction * outcome.solve_seconds;
+    }
+    if (forks_out != nullptr) *forks_out = forks;
+    if (merge_seconds_out != nullptr) *merge_seconds_out = merge_seconds;
+    return total;
+}
+
+}  // namespace fairbfl::core

@@ -1,0 +1,179 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fairbfl::core {
+
+Environment build_environment(const EnvironmentConfig& config) {
+    Environment env;
+
+    std::optional<ml::Dataset> real;
+    if (!config.mnist_images.empty() && !config.mnist_labels.empty()) {
+        real = ml::load_mnist_idx(config.mnist_images, config.mnist_labels,
+                                  config.data.samples);
+    }
+    env.dataset = std::make_unique<ml::Dataset>(
+        real.has_value() ? std::move(*real)
+                         : ml::make_synthetic_mnist(config.data));
+
+    const auto split = ml::train_test_split(*env.dataset,
+                                            config.test_fraction,
+                                            config.data.seed);
+    env.train = split.train;
+    env.test = split.test;
+    env.shards = ml::partition(env.train, config.partition);
+
+    if (config.noisy_client_fraction > 0.0) {
+        auto rng = support::Rng::fork(config.data.seed, /*stream=*/0xBAD);
+        const auto count = static_cast<std::size_t>(
+            config.noisy_client_fraction *
+            static_cast<double>(env.shards.size()));
+        env.noisy_clients = rng.sample_indices(env.shards.size(), count);
+        std::sort(env.noisy_clients.begin(), env.noisy_clients.end());
+        const auto classes =
+            static_cast<std::int64_t>(env.dataset->num_classes());
+        for (const std::size_t client : env.noisy_clients) {
+            // Fixed per-client label shift: a consistently wrong annotator.
+            const auto offset = rng.uniform_int(1, classes - 1);
+            const auto& shard = env.shards[client];
+            for (const std::size_t row : shard.indices()) {
+                if (!rng.bernoulli(config.label_noise_prob)) continue;
+                env.dataset->set_label(
+                    row, static_cast<std::int32_t>(
+                             (env.dataset->label_of(row) + offset) % classes));
+            }
+        }
+    }
+
+    switch (config.model) {
+        case ModelKind::kLogistic:
+            env.model = ml::make_logistic_regression(
+                env.dataset->feature_dim(), env.dataset->num_classes());
+            break;
+        case ModelKind::kMlp:
+            env.model = ml::make_mlp(env.dataset->feature_dim(),
+                                     config.mlp_hidden,
+                                     env.dataset->num_classes());
+            break;
+    }
+    return env;
+}
+
+void SystemRun::finalize() {
+    support::RunningStats delay_stats;
+    support::RunningStats accuracy_stats;
+    support::ConvergenceDetector convergence;
+    double elapsed = 0.0;
+    for (auto& point : series) {
+        elapsed += point.delay_seconds;
+        point.elapsed_seconds = elapsed;
+        delay_stats.add(point.delay_seconds);
+        accuracy_stats.add(point.accuracy);
+        if (!convergence.converged() && convergence.add(point.accuracy))
+            converged_elapsed_seconds = elapsed;
+    }
+    average_delay = delay_stats.mean();
+    average_accuracy = accuracy_stats.mean();
+    final_accuracy = series.empty() ? 0.0 : series.back().accuracy;
+    converged_round = convergence.converged_at();
+}
+
+double fl_round_delay(const DelayModel& delays, const Environment& env,
+                      const std::vector<std::size_t>& participants,
+                      const ml::SgdParams& sgd, std::uint64_t round,
+                      std::uint64_t seed) {
+    std::vector<std::size_t> steps;
+    steps.reserve(participants.size());
+    const std::size_t batch = std::max<std::size_t>(sgd.batch_size, 1);
+    for (const std::size_t id : participants) {
+        const std::size_t samples = env.shards[id].size();
+        steps.push_back(sgd.epochs * ((samples + batch - 1) / batch));
+    }
+    auto rng = support::Rng::fork(seed, /*stream=*/0xFAFA, round);
+    const std::size_t payload =
+        env.model->param_count() * sizeof(float) + 24;
+    double delay = delays.t_local(participants, steps, seed);
+    delay += delays.t_up(participants.size(), payload, rng);
+    delay += delays.t_gl(participants.size(), /*clustered_points=*/0);
+    return delay;
+}
+
+SystemRun run_fedavg(const Environment& env, const fl::FlConfig& config,
+                     const DelayParams& delay) {
+    SystemRun run;
+    run.name = "FedAvg";
+    const DelayModel delays(delay);
+    fl::FedAvg trainer(*env.model, env.make_clients(), env.test, config);
+    run.series.reserve(config.rounds);
+    for (std::size_t r = 0; r < config.rounds; ++r) {
+        const fl::RoundRecord record = trainer.run_round();
+        SeriesPoint point;
+        point.round = record.round;
+        point.accuracy = record.test_accuracy;
+        point.delay_seconds =
+            fl_round_delay(delays, env, record.participant_ids, config.sgd,
+                           record.round, config.seed);
+        run.series.push_back(point);
+    }
+    run.finalize();
+    return run;
+}
+
+SystemRun run_fedprox(const Environment& env, const fl::FedProxConfig& config,
+                      const DelayParams& delay) {
+    SystemRun run;
+    run.name = "FedProx";
+    const DelayModel delays(delay);
+    fl::FedProx trainer(*env.model, env.make_clients(), env.test, config);
+    run.series.reserve(config.base.rounds);
+    for (std::size_t r = 0; r < config.base.rounds; ++r) {
+        const fl::RoundRecord record = trainer.run_round();
+        SeriesPoint point;
+        point.round = record.round;
+        point.accuracy = record.test_accuracy;
+        point.delay_seconds =
+            fl_round_delay(delays, env, record.participant_ids,
+                           config.base.sgd, record.round, config.base.seed);
+        run.series.push_back(point);
+    }
+    run.finalize();
+    return run;
+}
+
+SystemRun run_fairbfl(const Environment& env, const FairBflConfig& config,
+                      const std::string& label) {
+    SystemRun run;
+    run.name = label;
+    FairBfl system(*env.model, env.make_clients(), env.test, config);
+    run.series.reserve(config.fl.rounds);
+    for (std::size_t r = 0; r < config.fl.rounds; ++r) {
+        const BflRoundRecord record = system.run_round();
+        SeriesPoint point;
+        point.round = record.fl.round;
+        point.accuracy = record.fl.test_accuracy;
+        point.delay_seconds = record.delay.total();
+        run.series.push_back(point);
+    }
+    run.finalize();
+    return run;
+}
+
+SystemRun run_blockchain(const BlockchainBaselineConfig& config) {
+    SystemRun run;
+    run.name = "Blockchain";
+    BlockchainBaseline system(config);
+    run.series.reserve(config.rounds);
+    for (std::size_t r = 0; r < config.rounds; ++r) {
+        const BlockchainRoundRecord record = system.run_round();
+        SeriesPoint point;
+        point.round = record.round;
+        point.accuracy = 0.0;  // a pure ledger learns nothing
+        point.delay_seconds = record.delay.total();
+        run.series.push_back(point);
+    }
+    run.finalize();
+    return run;
+}
+
+}  // namespace fairbfl::core

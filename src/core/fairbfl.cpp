@@ -1,0 +1,265 @@
+#include "core/fairbfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/hybrid.hpp"
+#include "fl/sampling.hpp"
+#include "support/logging.hpp"
+
+namespace fairbfl::core {
+
+FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
+                 ml::DatasetView test_set, FairBflConfig config)
+    : model_(&model),
+      clients_(std::move(clients)),
+      test_set_(std::move(test_set)),
+      config_(config),
+      keys_(config.fl.seed, config.key_bits),
+      chain_(config.chain_id, config.key_bits != 0 ? &keys_ : nullptr),
+      weights_(model.param_count(), 0.0F) {
+    // The tightly coupled design models mining time stochastically; the
+    // chain stores protocol-valid blocks without re-running the hash race.
+    chain_.set_check_pow(false);
+    for (const auto& client : clients_) keys_.register_node(client.id());
+    // Miners get ids above the client range.
+    for (std::size_t k = 0; k < config_.miners; ++k)
+        keys_.register_node(static_cast<crypto::NodeId>(clients_.size() + k));
+
+    auto rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x1417);
+    model_->init_params(weights_, rng);
+}
+
+std::size_t FairBfl::batch_steps_of(std::size_t client_id) const {
+    const std::size_t samples = clients_[client_id].num_samples();
+    const std::size_t batch = std::max<std::size_t>(config_.fl.sgd.batch_size, 1);
+    return config_.fl.sgd.epochs * ((samples + batch - 1) / batch);
+}
+
+BflRoundRecord FairBfl::run_round() {
+    const std::uint64_t round = round_++;
+    BflRoundRecord record;
+    record.fl.round = round;
+
+    // Common-random-numbers discipline: every delay component draws from
+    // its own (seed, round)-keyed stream, so two configurations of the
+    // same experiment (e.g. FAIR vs FAIR-Discard) see identical network
+    // and mining luck and differ only through real workload changes.
+    auto assoc_rng =
+        support::Rng::fork(config_.fl.seed, /*stream=*/0xA550C, round);
+    auto up_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x755, round);
+    auto ex_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x7E8, round);
+    auto bl_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x7B1, round);
+
+    // --- Client selection (Algorithm 1 line 3), minus last round's bench.
+    auto selected = fl::sample_clients(clients_.size(), config_.fl.client_ratio,
+                                       round, config_.fl.seed);
+    selected = fl::exclude_clients(std::move(selected), benched_clients_);
+    benched_clients_.clear();
+    record.fl.selected = selected.size();
+
+    // --- Procedure I: local learning (parallel across clients).
+    auto updates = fl::run_local_updates(clients_, selected, weights_,
+                                         config_.fl.sgd, round,
+                                         config_.fl.seed);
+    std::vector<std::size_t> steps;
+    steps.reserve(selected.size());
+    for (const std::size_t id : selected) steps.push_back(batch_steps_of(id));
+    record.delay.t_local = DelayModel(config_.delay)
+                               .t_local(selected, steps, config_.fl.seed);
+
+    // --- Adversary: forge some updates before they leave the clients.
+    const AttackReport attack = apply_attack(updates, weights_, config_.attack,
+                                             round, config_.fl.seed);
+    record.attacker_clients = attack.attacker_clients;
+
+    const DelayModel delays(config_.delay);
+    const std::size_t payload =
+        updates.empty() ? 0 : updates[0].payload_bytes();
+
+    // --- Procedure II: sign and upload to a uniformly random miner,
+    // optionally under hybrid encryption to that miner.
+    const bool encrypting =
+        config_.encrypt_gradients && keys_.crypto_enabled();
+    std::size_t wire_payload = payload;
+    std::vector<chain::Transaction> gradient_txs;
+    gradient_txs.reserve(updates.size());
+    std::vector<fl::GradientSet> miner_sets(std::max<std::size_t>(
+        config_.miners, 1));
+    for (const auto& update : updates) {
+        chain::Transaction tx = chain::make_gradient_tx(
+            chain::TxKind::kLocalGradient, update.client, round,
+            update.weights);
+        chain::sign_transaction(tx, keys_);
+        // Miner association: uniform random (paper §4.2).
+        const auto miner = static_cast<std::size_t>(assoc_rng.uniform_int(
+            0, static_cast<std::int64_t>(miner_sets.size()) - 1));
+        if (!chain::verify_transaction(tx, keys_)) {
+            FAIRBFL_LOG_WARN("round %llu: dropping update with bad signature "
+                             "from client %u",
+                             static_cast<unsigned long long>(round),
+                             update.client);
+            continue;
+        }
+        if (encrypting) {
+            // Encrypt the signed transaction to the associated miner; the
+            // miner decrypts before treating it as a gradient.  An
+            // undecryptable or tampered upload is dropped, like a bad
+            // signature.
+            const auto miner_node =
+                static_cast<crypto::NodeId>(clients_.size() + miner);
+            auto enc_rng = support::Rng::fork(
+                config_.fl.seed, 0xE2C00000ULL + update.client, round);
+            const crypto::HybridCiphertext ciphertext = crypto::hybrid_encrypt(
+                keys_.public_key(miner_node), tx.encode(), enc_rng);
+            wire_payload = std::max(wire_payload, ciphertext.total_bytes());
+            try {
+                const auto decrypted = crypto::hybrid_decrypt(
+                    keys_.private_key(miner_node), ciphertext);
+                chain::ByteReader reader(decrypted);
+                const chain::Transaction received =
+                    chain::Transaction::decode(reader);
+                if (!(received == tx)) continue;
+            } catch (const std::exception&) {
+                FAIRBFL_LOG_WARN(
+                    "round %llu: dropping undecryptable upload from %u",
+                    static_cast<unsigned long long>(round), update.client);
+                continue;
+            }
+        }
+        miner_sets[miner].add(update);
+        gradient_txs.push_back(std::move(tx));
+    }
+    record.delay.t_up = delays.t_up(updates.size(), wire_payload, up_rng);
+
+    // --- Procedure III: miners exchange gradient sets until identical.
+    fl::GradientSet full_set;
+    for (const auto& set : miner_sets) full_set.merge(set);
+    full_set.canonicalize();
+    if (config_.stage_exchange && config_.miners > 1) {
+        const std::size_t set_bytes = payload * full_set.size();
+        record.delay.t_ex = delays.t_ex(config_.miners, set_bytes, ex_rng);
+    }
+
+    const auto& final_updates = full_set.updates();
+    record.fl.participants = final_updates.size();
+    for (const auto& u : final_updates)
+        record.fl.participant_ids.push_back(u.client);
+    if (final_updates.empty()) {
+        // Nothing arrived (all clients benched/dropped): keep weights.
+        record.fl.test_accuracy = model_->accuracy(weights_, test_set_);
+        record.chain_height = chain_.height();
+        return record;
+    }
+
+    // --- Procedure IV: provisional simple average (line 24), Algorithm 2
+    // (line 26), fair aggregation (line 27 / Eq. 1).
+    const std::vector<float> provisional = fl::simple_average(final_updates);
+    std::size_t clustered_points = 0;
+    if (config_.enable_incentive) {
+        // Cluster on effective gradients: weights_ still holds w_r here.
+        const incentive::ContributionReport report =
+            incentive::identify_contributions(final_updates, provisional,
+                                              config_.incentive, weights_);
+        clustered_points = final_updates.size() + 1;
+        weights_ = incentive::apply_strategy(final_updates, report,
+                                             config_.incentive.strategy);
+        ledger_.record(round, report);
+        record.round_reward_total = report.total_reward();
+        record.low_contribution_clients = report.low_clients();
+        record.detection_rate =
+            detection_rate(record.attacker_clients,
+                           record.low_contribution_clients);
+        if (config_.incentive.strategy ==
+            incentive::LowContributionStrategy::kDiscard) {
+            for (const auto client : record.low_contribution_clients)
+                benched_clients_.push_back(client);
+        }
+    } else {
+        weights_ = provisional;
+        record.detection_rate = record.attacker_clients.empty() ? 1.0 : 0.0;
+    }
+    record.delay.t_gl = delays.t_gl(final_updates.size(), clustered_points);
+
+    // --- Procedure V: the winner packs the block; consensus accepts it.
+    if (config_.stage_mining) {
+        chain::Block block;
+        block.header.index = chain_.tip().header.index + 1;
+        block.header.prev_hash = chain_.tip().header.hash();
+        block.header.difficulty = config_.delay.difficulty;
+        block.header.timestamp_ms = round * 1000;
+
+        const auto miner_id =
+            static_cast<crypto::NodeId>(clients_.size());  // winner proxy id
+        chain::Transaction global_tx = chain::make_gradient_tx(
+            chain::TxKind::kGlobalUpdate, miner_id, round, weights_);
+        chain::sign_transaction(global_tx, keys_);
+        block.transactions.push_back(std::move(global_tx));
+        for (const auto& entry : ledger_.history()) {
+            if (entry.round != round) continue;
+            chain::Transaction reward_tx = chain::make_reward_tx(
+                miner_id, round, entry.client, entry.amount);
+            chain::sign_transaction(reward_tx, keys_);
+            block.transactions.push_back(std::move(reward_tx));
+        }
+        if (config_.record_local_gradients) {
+            // Assumption 2 ablation: local gradients go on-chain too.
+            for (auto& tx : gradient_txs)
+                block.transactions.push_back(std::move(tx));
+        }
+        block.seal_transactions();
+
+        const std::size_t block_bytes = block.size_bytes();
+        if (config_.record_local_gradients) {
+            // Over-capacity content splits across multiple sequential
+            // blocks (queuing), and asynchronous mining may fork.
+            chain::Mempool pool(config_.delay.max_block_bytes);
+            pool.add_all(block.transactions);
+            record.blocks_this_round = pool.blocks_to_drain();
+        } else {
+            record.blocks_this_round = 1;
+        }
+
+        if (config_.async_mining) {
+            std::size_t forks = 0;
+            record.delay.t_bl = delays.t_bl_vanilla(
+                config_.miners, record.blocks_this_round,
+                std::min(block_bytes, config_.delay.max_block_bytes),
+                bl_rng, &forks, nullptr);
+            record.forks_this_round = forks;
+        } else {
+            for (std::size_t b = 0; b < record.blocks_this_round; ++b) {
+                record.delay.t_bl += delays.t_bl_fair(
+                    config_.miners,
+                    std::min(block_bytes, config_.delay.max_block_bytes),
+                    bl_rng);
+            }
+        }
+
+        const chain::BlockVerdict verdict = chain_.submit(block);
+        if (verdict != chain::BlockVerdict::kAccepted) {
+            FAIRBFL_LOG_ERROR("round %llu: block rejected (%s)",
+                              static_cast<unsigned long long>(round),
+                              chain::to_string(verdict).c_str());
+        }
+    }
+    record.chain_height = chain_.height();
+
+    // --- Metrics.
+    record.fl.test_accuracy = model_->accuracy(weights_, test_set_);
+    double loss_sum = 0.0;
+    for (const auto& u : final_updates) loss_sum += u.local_loss;
+    record.fl.mean_local_loss =
+        loss_sum / static_cast<double>(final_updates.size());
+    return record;
+}
+
+std::vector<BflRoundRecord> FairBfl::run(std::size_t rounds) {
+    if (rounds == 0) rounds = config_.fl.rounds;
+    std::vector<BflRoundRecord> history;
+    history.reserve(rounds);
+    for (std::size_t r = 0; r < rounds; ++r) history.push_back(run_round());
+    return history;
+}
+
+}  // namespace fairbfl::core

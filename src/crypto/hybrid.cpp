@@ -1,0 +1,91 @@
+#include "crypto/hybrid.hpp"
+
+#include <stdexcept>
+
+namespace fairbfl::crypto {
+
+namespace {
+
+constexpr std::size_t kKeyBytes = 16;
+constexpr std::size_t kNonceBytes = 8;
+
+/// XORs `data` in place with the xoshiro256** keystream seeded by
+/// (key, nonce).
+void apply_keystream(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> nonce,
+                     std::span<std::uint8_t> data) {
+    // Derive the stream seed by hashing key || nonce (domain-separated).
+    Sha256 hasher;
+    hasher.update("fairbfl-hybrid-keystream");
+    hasher.update(key);
+    hasher.update(nonce);
+    const Digest seed = hasher.finish();
+    std::uint64_t seed64 = 0;
+    for (int i = 0; i < 8; ++i)
+        seed64 = (seed64 << 8) | seed[static_cast<std::size_t>(i)];
+
+    support::Rng stream(seed64);
+    std::size_t i = 0;
+    while (i < data.size()) {
+        const std::uint64_t word = stream();
+        for (int b = 0; b < 8 && i < data.size(); ++b, ++i)
+            data[i] ^= static_cast<std::uint8_t>(word >> (8 * b));
+    }
+}
+
+Digest compute_tag(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce,
+                   std::span<const std::uint8_t> body) {
+    Sha256 hasher;
+    hasher.update("fairbfl-hybrid-tag");
+    hasher.update(key);
+    hasher.update(nonce);
+    hasher.update(body);
+    return hasher.finish();
+}
+
+}  // namespace
+
+HybridCiphertext hybrid_encrypt(const RsaPublicKey& recipient,
+                                std::span<const std::uint8_t> plaintext,
+                                support::Rng& rng) {
+    std::vector<std::uint8_t> key_and_nonce(kKeyBytes + kNonceBytes);
+    for (auto& byte : key_and_nonce)
+        byte = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto key = std::span<const std::uint8_t>(key_and_nonce)
+                         .first(kKeyBytes);
+    const auto nonce = std::span<const std::uint8_t>(key_and_nonce)
+                           .subspan(kKeyBytes);
+
+    HybridCiphertext out;
+    out.wrapped_key = encrypt(recipient, key_and_nonce);
+    out.body.assign(plaintext.begin(), plaintext.end());
+    apply_keystream(key, nonce, out.body);
+    out.tag = compute_tag(key, nonce, out.body);
+    return out;
+}
+
+std::vector<std::uint8_t> hybrid_decrypt(const RsaPrivateKey& key,
+                                         const HybridCiphertext& ciphertext) {
+    std::vector<std::uint8_t> key_and_nonce;
+    try {
+        key_and_nonce = decrypt(key, ciphertext.wrapped_key);
+    } catch (const std::exception&) {
+        throw std::runtime_error("hybrid_decrypt: key unwrap failed");
+    }
+    if (key_and_nonce.size() != kKeyBytes + kNonceBytes)
+        throw std::runtime_error("hybrid_decrypt: malformed wrapped key");
+    const auto sym_key =
+        std::span<const std::uint8_t>(key_and_nonce).first(kKeyBytes);
+    const auto nonce =
+        std::span<const std::uint8_t>(key_and_nonce).subspan(kKeyBytes);
+
+    if (compute_tag(sym_key, nonce, ciphertext.body) != ciphertext.tag)
+        throw std::runtime_error("hybrid_decrypt: integrity tag mismatch");
+
+    std::vector<std::uint8_t> plaintext = ciphertext.body;
+    apply_keystream(sym_key, nonce, plaintext);
+    return plaintext;
+}
+
+}  // namespace fairbfl::crypto

@@ -1,0 +1,46 @@
+#pragma once
+// Hybrid encryption for gradient confidentiality.
+//
+// The paper (§4.2) notes "local gradients can be encrypted using RSA to
+// ensure data privacy"; raw RSA cannot carry kilobytes of gradient, so --
+// as in every deployed system -- the payload is encrypted under a fresh
+// symmetric key and only the key travels under RSA.
+//
+// The symmetric primitive is a xoshiro256** keystream XOR with a SHA-256
+// integrity tag (encrypt-then-MAC style).  This is a *simulation-grade*
+// cipher: the protocol path (fresh key per message, key wrap, tag check,
+// tamper rejection) is exactly what a production AES-GCM deployment would
+// exercise; the primitive itself is not side-channel hardened.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "support/rng.hpp"
+
+namespace fairbfl::crypto {
+
+struct HybridCiphertext {
+    std::vector<std::uint8_t> wrapped_key;  ///< RSA(recipient, key || nonce)
+    std::vector<std::uint8_t> body;         ///< keystream-XORed payload
+    Digest tag{};                           ///< SHA-256(key || nonce || body)
+
+    [[nodiscard]] std::size_t total_bytes() const noexcept {
+        return wrapped_key.size() + body.size() + tag.size();
+    }
+};
+
+/// Encrypts `plaintext` to the holder of `recipient`.  `rng` supplies the
+/// fresh symmetric key and nonce (deterministic under the simulation's
+/// stream discipline).
+[[nodiscard]] HybridCiphertext hybrid_encrypt(
+    const RsaPublicKey& recipient, std::span<const std::uint8_t> plaintext,
+    support::Rng& rng);
+
+/// Decrypts; throws std::runtime_error on key-unwrapping failure or tag
+/// mismatch (tampered body).
+[[nodiscard]] std::vector<std::uint8_t> hybrid_decrypt(
+    const RsaPrivateKey& key, const HybridCiphertext& ciphertext);
+
+}  // namespace fairbfl::crypto

@@ -1,0 +1,47 @@
+#include "crypto/keystore.hpp"
+
+#include <stdexcept>
+
+namespace fairbfl::crypto {
+
+KeyStore::KeyStore(std::uint64_t root_seed, std::size_t key_bits)
+    : root_seed_(root_seed), key_bits_(key_bits) {}
+
+void KeyStore::register_node(NodeId id) {
+    if (!crypto_enabled() || keys_.contains(id)) return;
+    // Stream 0x4B45 ("KE") namespaces key-generation randomness away from
+    // the simulation streams.
+    auto rng = support::Rng::fork(root_seed_, 0x4B450000ULL + id);
+    keys_.emplace(id, generate_keypair(key_bits_, rng));
+}
+
+bool KeyStore::has_node(NodeId id) const noexcept {
+    return keys_.contains(id);
+}
+
+const RsaPublicKey& KeyStore::public_key(NodeId id) const {
+    return keys_.at(id).pub;
+}
+
+const RsaPrivateKey& KeyStore::private_key(NodeId id) const {
+    return keys_.at(id).priv;
+}
+
+RsaSignature KeyStore::sign(NodeId id,
+                            std::span<const std::uint8_t> payload) const {
+    if (!crypto_enabled()) return {};
+    const auto it = keys_.find(id);
+    if (it == keys_.end())
+        throw std::out_of_range("KeyStore::sign: unknown node id");
+    return sign_payload(it->second.priv, payload);
+}
+
+bool KeyStore::verify(NodeId id, std::span<const std::uint8_t> payload,
+                      std::span<const std::uint8_t> signature) const {
+    if (!crypto_enabled()) return true;
+    const auto it = keys_.find(id);
+    if (it == keys_.end()) return false;
+    return verify_payload(it->second.pub, payload, signature);
+}
+
+}  // namespace fairbfl::crypto

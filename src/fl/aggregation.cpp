@@ -1,0 +1,68 @@
+#include "fl/aggregation.hpp"
+
+#include <stdexcept>
+
+#include "support/vecmath.hpp"
+
+namespace fairbfl::fl {
+
+namespace {
+
+void check_updates(std::span<const GradientUpdate> updates) {
+    if (updates.empty())
+        throw std::invalid_argument("aggregate: empty update set");
+    const std::size_t width = updates[0].weights.size();
+    for (const auto& u : updates) {
+        if (u.weights.size() != width)
+            throw std::invalid_argument("aggregate: ragged update widths");
+    }
+}
+
+}  // namespace
+
+std::vector<float> simple_average(std::span<const GradientUpdate> updates) {
+    check_updates(updates);
+    std::vector<float> out(updates[0].weights.size(), 0.0F);
+    for (const auto& u : updates) support::axpy(1.0F, u.weights, out);
+    support::scale(out, 1.0F / static_cast<float>(updates.size()));
+    return out;
+}
+
+std::vector<float> weighted_aggregate(std::span<const GradientUpdate> updates,
+                                      std::span<const double> weights) {
+    check_updates(updates);
+    if (weights.size() != updates.size())
+        throw std::invalid_argument("aggregate: weight count mismatch");
+    double sum = 0.0;
+    for (const double w : weights) {
+        if (w < 0.0)
+            throw std::invalid_argument("aggregate: negative weight");
+        sum += w;
+    }
+    if (sum <= 0.0)
+        throw std::invalid_argument("aggregate: zero weight sum");
+
+    std::vector<float> out(updates[0].weights.size(), 0.0F);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+        support::axpy(static_cast<float>(weights[i] / sum),
+                      updates[i].weights, out);
+    }
+    return out;
+}
+
+std::vector<float> sample_weighted_average(
+    std::span<const GradientUpdate> updates) {
+    check_updates(updates);
+    std::vector<double> weights;
+    weights.reserve(updates.size());
+    for (const auto& u : updates)
+        weights.push_back(static_cast<double>(u.num_samples));
+    return weighted_aggregate(updates, weights);
+}
+
+std::vector<float> fair_aggregate(std::span<const GradientUpdate> updates,
+                                  std::span<const double> theta) {
+    return weighted_aggregate(updates, theta);
+}
+
+}  // namespace fairbfl::fl

@@ -1,0 +1,37 @@
+#pragma once
+// Aggregation rules (Algorithm 1 line 24 and Eq. 1).
+//
+//  * Simple average:    w <- (1/K) sum_i w_i             (the paper's line 24)
+//  * Sample-weighted:   w <- sum_i (|D_i|/|D|) w_i       (classic FedAvg)
+//  * Fair (Eq. 1):      w <- sum_i p_i w_i,  p_i = theta_i / sum_k theta_k
+//    where theta_i is the client's contribution score (cosine distance to
+//    the global update, computed by the incentive layer).
+
+#include <span>
+#include <vector>
+
+#include "fl/gradient.hpp"
+
+namespace fairbfl::fl {
+
+/// (1/K) sum of the updates.  Requires a non-empty set with equal widths.
+[[nodiscard]] std::vector<float> simple_average(
+    std::span<const GradientUpdate> updates);
+
+/// Weighted sum with the given per-update weights; weights are normalized
+/// internally (sum to 1).  Requires weights.size() == updates.size() and a
+/// positive weight sum.
+[[nodiscard]] std::vector<float> weighted_aggregate(
+    std::span<const GradientUpdate> updates, std::span<const double> weights);
+
+/// Classic FedAvg: weights proportional to self-reported sample counts.
+[[nodiscard]] std::vector<float> sample_weighted_average(
+    std::span<const GradientUpdate> updates);
+
+/// Eq. 1 given precomputed contribution scores theta_i (one per update,
+/// larger = farther).  Scores are used directly as weights after
+/// normalization, matching the paper's p_i = theta_i / sum theta_k.
+[[nodiscard]] std::vector<float> fair_aggregate(
+    std::span<const GradientUpdate> updates, std::span<const double> theta);
+
+}  // namespace fairbfl::fl

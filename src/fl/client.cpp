@@ -1,0 +1,32 @@
+#include "fl/client.hpp"
+
+namespace fairbfl::fl {
+
+GradientUpdate Client::local_update(std::span<const float> global_weights,
+                                    const ml::SgdParams& sgd,
+                                    std::uint64_t round,
+                                    std::uint64_t root_seed) const {
+    GradientUpdate update;
+    update.client = id_;
+    update.round = round;
+    update.num_samples = shard_.size();
+    update.weights.assign(global_weights.begin(), global_weights.end());
+
+    auto rng = support::Rng::fork(root_seed, /*stream=*/id_, round);
+    const ml::SgdResult result = sgd_train(
+        *model_, update.weights, shard_, sgd, rng,
+        /*anchor=*/sgd.prox_mu > 0.0 ? global_weights : std::span<const float>{});
+    update.local_loss = result.final_loss;
+    return update;
+}
+
+std::vector<Client> make_clients(const ml::Model& model,
+                                 const std::vector<ml::DatasetView>& shards) {
+    std::vector<Client> clients;
+    clients.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        clients.emplace_back(static_cast<NodeId>(i), model, shards[i]);
+    return clients;
+}
+
+}  // namespace fairbfl::fl

@@ -1,0 +1,54 @@
+#pragma once
+// A federated client C_i: owns a data shard and produces local updates
+// (Procedure I, Algorithm 1 lines 6-11).
+//
+// Clients are value types holding only an id and a view into the shared
+// dataset; the Model is shared immutably.  local_update() is pure given
+// (global weights, round, seed), so the simulator can run all selected
+// clients through a parallel_for with bit-reproducible results.
+
+#include <span>
+
+#include "fl/gradient.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+
+namespace fairbfl::fl {
+
+class Client {
+public:
+    Client(NodeId id, const ml::Model& model, ml::DatasetView shard) noexcept
+        : id_(id), model_(&model), shard_(std::move(shard)) {}
+
+    [[nodiscard]] NodeId id() const noexcept { return id_; }
+    [[nodiscard]] std::size_t num_samples() const noexcept {
+        return shard_.size();
+    }
+    [[nodiscard]] const ml::DatasetView& shard() const noexcept {
+        return shard_;
+    }
+
+    /// Procedure I: start from the global weights, run E epochs of
+    /// mini-batch SGD on the local shard, return the updated weights.
+    /// `root_seed` + (id, round) select the client's private randomness.
+    [[nodiscard]] GradientUpdate local_update(
+        std::span<const float> global_weights, const ml::SgdParams& sgd,
+        std::uint64_t round, std::uint64_t root_seed) const;
+
+    /// Client-side validation accuracy of a weight vector on the local
+    /// shard (the acc_i of the paper's "average accuracy" metric).
+    [[nodiscard]] double local_accuracy(std::span<const float> weights) const {
+        return model_->accuracy(weights, shard_);
+    }
+
+private:
+    NodeId id_;
+    const ml::Model* model_;
+    ml::DatasetView shard_;
+};
+
+/// Builds one client per shard with ids 0..n-1.
+[[nodiscard]] std::vector<Client> make_clients(
+    const ml::Model& model, const std::vector<ml::DatasetView>& shards);
+
+}  // namespace fairbfl::fl

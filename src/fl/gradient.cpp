@@ -1,0 +1,35 @@
+#include "fl/gradient.hpp"
+
+#include <algorithm>
+
+namespace fairbfl::fl {
+
+bool GradientSet::add(GradientUpdate update) {
+    if (contains(update.client)) return false;
+    updates_.push_back(std::move(update));
+    return true;
+}
+
+std::size_t GradientSet::merge(const GradientSet& other) {
+    std::size_t added = 0;
+    for (const auto& update : other.updates_) {
+        if (add(update)) ++added;
+    }
+    return added;
+}
+
+bool GradientSet::contains(NodeId client) const noexcept {
+    return std::any_of(updates_.begin(), updates_.end(),
+                       [client](const GradientUpdate& u) {
+                           return u.client == client;
+                       });
+}
+
+void GradientSet::canonicalize() {
+    std::sort(updates_.begin(), updates_.end(),
+              [](const GradientUpdate& a, const GradientUpdate& b) {
+                  return a.client < b.client;
+              });
+}
+
+}  // namespace fairbfl::fl

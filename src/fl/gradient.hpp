@@ -1,0 +1,58 @@
+#pragma once
+// The unit that travels from clients to the aggregator: one client's updated
+// weight vector for a round.  The paper (like FedAvg) calls this "the
+// gradient w^i_{r+1}"; we keep that vocabulary.
+
+#include <cstdint>
+#include <vector>
+
+namespace fairbfl::fl {
+
+using NodeId = std::uint32_t;
+
+struct GradientUpdate {
+    NodeId client = 0;
+    std::uint64_t round = 0;
+    std::vector<float> weights;     ///< w^i_{r+1}, full parameter vector
+    std::size_t num_samples = 0;    ///< |D_i|; *self-reported* in vanilla BFL
+    double local_loss = 0.0;        ///< final local training loss (diagnostic)
+
+    [[nodiscard]] bool operator==(const GradientUpdate& rhs) const = default;
+
+    /// Wire size of this update in bytes (weights dominate); drives the
+    /// network-delay and block-size models.
+    [[nodiscard]] std::size_t payload_bytes() const noexcept {
+        return weights.size() * sizeof(float) + 24;
+    }
+};
+
+/// The gradient set W^k_{r+1} a miner accumulates (Algorithm 1 lines 16-22).
+/// Deduplicates by client id on merge, exactly like the paper's
+/// "if w not in W then append" exchange step.
+class GradientSet {
+public:
+    /// Returns false (and ignores the update) when this client is already
+    /// represented.
+    bool add(GradientUpdate update);
+
+    /// Merges another miner's set; returns how many updates were new.
+    std::size_t merge(const GradientSet& other);
+
+    [[nodiscard]] bool contains(NodeId client) const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept { return updates_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return updates_.empty(); }
+    [[nodiscard]] const std::vector<GradientUpdate>& updates() const noexcept {
+        return updates_;
+    }
+
+    /// Sorts by client id so every miner's set has identical ordering before
+    /// aggregation (determinism across the simulated network).
+    void canonicalize();
+
+    void clear() noexcept { updates_.clear(); }
+
+private:
+    std::vector<GradientUpdate> updates_;
+};
+
+}  // namespace fairbfl::fl

@@ -1,0 +1,189 @@
+#include "incentive/contribution.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/vecmath.hpp"
+
+namespace fairbfl::incentive {
+
+std::vector<fl::NodeId> ContributionReport::low_clients() const {
+    std::vector<fl::NodeId> clients;
+    clients.reserve(low_indices.size());
+    for (const std::size_t i : low_indices) clients.push_back(entries[i].client);
+    std::sort(clients.begin(), clients.end());
+    return clients;
+}
+
+double ContributionReport::total_reward() const {
+    double total = 0.0;
+    for (const auto& entry : entries) total += entry.reward;
+    return total;
+}
+
+ContributionReport identify_contributions(
+    std::span<const fl::GradientUpdate> updates,
+    std::span<const float> provisional_global,
+    const ContributionConfig& config,
+    std::span<const float> reference) {
+    ContributionReport report;
+    if (updates.empty()) return report;
+
+    // Points = all updates followed by the provisional global update, so a
+    // single clustering call implements "w_{r+1} in l_i" membership tests.
+    // With a reference (previous global) the points are the round's
+    // effective gradients w - w_r.
+    const auto to_point = [&](std::span<const float> w) {
+        std::vector<float> point(w.begin(), w.end());
+        if (!reference.empty()) {
+            for (std::size_t d = 0; d < point.size(); ++d)
+                point[d] -= reference[d];
+        }
+        return point;
+    };
+    std::vector<std::vector<float>> points;
+    points.reserve(updates.size() + 1);
+    for (const auto& update : updates) points.push_back(to_point(update.weights));
+    points.push_back(to_point(provisional_global));
+    const std::size_t global_index = points.size() - 1;
+
+    std::unique_ptr<cluster::ClusteringAlgorithm> algorithm;
+    switch (config.clustering) {
+        case ClusteringChoice::kDbscan: {
+            cluster::DbscanParams params = config.dbscan;
+            if (config.adaptive_eps) {
+                params.eps = config.adaptive_eps_scale *
+                             cluster::suggest_eps(points, params.min_pts,
+                                                  params.metric);
+            }
+            algorithm = std::make_unique<cluster::Dbscan>(params);
+            break;
+        }
+        case ClusteringChoice::kKMeans:
+            algorithm = std::make_unique<cluster::KMeans>(config.kmeans);
+            break;
+    }
+    report.clustering = algorithm->cluster(points);
+    report.global_cluster = report.clustering.labels[global_index];
+
+    // Attackers can drag the provisional average off the honest cluster,
+    // leaving the global update in DBSCAN noise.  Membership in "the
+    // global's cluster" is then undefined; the robust reading of
+    // Algorithm 2 assigns the global to its *nearest* cluster (minimum
+    // cosine distance to any member), which is the honest one whenever an
+    // honest majority exists.
+    if (report.global_cluster == cluster::ClusterResult::kNoise &&
+        report.clustering.num_clusters > 0) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < global_index; ++i) {
+            const int label = report.clustering.labels[i];
+            if (label == cluster::ClusterResult::kNoise) continue;
+            const double d = support::cosine_distance(points[i],
+                                                      points[global_index]);
+            if (d < best) {
+                best = d;
+                report.global_cluster = label;
+            }
+        }
+    }
+
+    // Honest-majority guard.  Attackers who amplify their forged gradients
+    // can flip the *direction* of the simple average, parking the global
+    // update inside (or nearest to) the attacker cluster -- the defense
+    // would then discard the honest majority.  The paper's own security
+    // argument presumes "the vast majority of nodes remaining honest", so
+    // when a strict majority cluster exists and it is not the global's,
+    // side with the majority.
+    if (report.clustering.num_clusters > 0) {
+        std::vector<std::size_t> sizes(
+            static_cast<std::size_t>(report.clustering.num_clusters), 0);
+        for (std::size_t i = 0; i < global_index; ++i) {
+            const int label = report.clustering.labels[i];
+            if (label >= 0) ++sizes[static_cast<std::size_t>(label)];
+        }
+        const std::size_t biggest = static_cast<std::size_t>(
+            std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+        if (sizes[biggest] * 2 > updates.size() &&
+            static_cast<int>(biggest) != report.global_cluster) {
+            report.global_cluster = static_cast<int>(biggest);
+        }
+    }
+
+    // theta_i: cosine distance of each update to the provisional global.
+    report.entries.resize(updates.size());
+    double high_theta_sum = 0.0;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+        ClientContribution& entry = report.entries[i];
+        entry.client = updates[i].client;
+        entry.theta =
+            support::cosine_distance(points[i], points[global_index]);
+        // High contribution: same (non-noise) cluster as the global update.
+        // When the global lands in noise (tiny rounds / degenerate eps),
+        // nobody is "in its cluster"; treat everyone as high so the round
+        // degrades to plain fair aggregation instead of dropping everyone.
+        entry.high = report.global_cluster == cluster::ClusterResult::kNoise
+                         ? true
+                         : report.clustering.labels[i] == report.global_cluster;
+        if (entry.high) {
+            high_theta_sum += entry.theta;
+            report.high_indices.push_back(i);
+        } else {
+            report.low_indices.push_back(i);
+        }
+    }
+
+    // Rewards: <C_i, theta_i / sum theta_k * base> for high contributors.
+    if (high_theta_sum > 0.0) {
+        for (const std::size_t i : report.high_indices) {
+            report.entries[i].reward = report.entries[i].theta /
+                                       high_theta_sum * config.reward_base;
+        }
+    } else if (!report.high_indices.empty()) {
+        // All thetas ~0 (identical gradients): split the base evenly.
+        const double share =
+            config.reward_base /
+            static_cast<double>(report.high_indices.size());
+        for (const std::size_t i : report.high_indices)
+            report.entries[i].reward = share;
+    }
+    return report;
+}
+
+std::vector<std::size_t> surviving_indices(std::size_t update_count,
+                                           const ContributionReport& report,
+                                           LowContributionStrategy strategy) {
+    std::vector<std::size_t> survivors;
+    if (strategy == LowContributionStrategy::kKeepAll ||
+        report.high_indices.empty()) {
+        survivors.resize(update_count);
+        for (std::size_t i = 0; i < update_count; ++i) survivors[i] = i;
+        return survivors;
+    }
+    return report.high_indices;
+}
+
+std::vector<float> apply_strategy(std::span<const fl::GradientUpdate> updates,
+                                  const ContributionReport& report,
+                                  LowContributionStrategy strategy) {
+    const auto survivors =
+        surviving_indices(updates.size(), report, strategy);
+
+    std::vector<fl::GradientUpdate> chosen;
+    std::vector<double> theta;
+    chosen.reserve(survivors.size());
+    theta.reserve(survivors.size());
+    double theta_sum = 0.0;
+    for (const std::size_t i : survivors) {
+        chosen.push_back(updates[i]);
+        theta.push_back(report.entries[i].theta);
+        theta_sum += report.entries[i].theta;
+    }
+    if (theta_sum <= 1e-12) {
+        // Degenerate geometry: every surviving update coincides with the
+        // global; Eq. 1 is undefined, use the simple average.
+        return fl::simple_average(chosen);
+    }
+    return fl::fair_aggregate(chosen, theta);
+}
+
+}  // namespace fairbfl::incentive

@@ -1,0 +1,117 @@
+#pragma once
+// Client's Contribution Identification -- the paper's Algorithm 2.
+//
+// Given the round's gradient set W (one update per client) and the
+// provisional global update w_{r+1} (the simple average of Algorithm 1
+// line 24):
+//   1. cluster W ∪ {w_{r+1}} with a pluggable clustering algorithm
+//      (DBSCAN by default);
+//   2. clients in the global update's cluster are *high contribution*;
+//      their theta_i = cosine_distance(w_i, w_{r+1}) becomes both the
+//      reward share theta_i / sum_k theta_k * base and the fair-aggregation
+//      weight p_i (Eq. 1);
+//   3. clients outside are *low contribution* and the configured strategy
+//      applies: keep them (weights still via Eq. 1) or discard them and
+//      recompute the global update from the high contributors only.
+//
+// Forged gradients land far from the honest cluster, so the discard
+// strategy doubles as the malicious-attack defense evaluated in Table 2.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "cluster/dbscan.hpp"
+#include "cluster/kmeans.hpp"
+#include "fl/aggregation.hpp"
+#include "fl/gradient.hpp"
+
+namespace fairbfl::incentive {
+
+/// What to do with low-contribution clients (paper §3.2: "two strategies").
+enum class LowContributionStrategy : std::uint8_t {
+    kKeepAll = 0,  ///< keep all gradients in the aggregation
+    kDiscard = 1,  ///< drop them and recalculate the global update
+};
+
+enum class ClusteringChoice : std::uint8_t {
+    kDbscan = 0,  ///< the paper's default
+    kKMeans = 1,  ///< the "various clustering algorithms" alternative
+};
+
+struct ContributionConfig {
+    ClusteringChoice clustering = ClusteringChoice::kDbscan;
+    LowContributionStrategy strategy = LowContributionStrategy::kKeepAll;
+    /// Clustering metric defaults to Euclidean over the round's effective
+    /// gradients: forged/low-quality gradients separate by *magnitude and
+    /// direction* there, whereas cosine distance degenerates under non-IID
+    /// data (honest shard directions are already near-orthogonal).  The
+    /// reward weight theta stays cosine, as Algorithm 2 prescribes.
+    cluster::DbscanParams dbscan{
+        .eps = 0.05, .min_pts = 3, .metric = cluster::Metric::kEuclidean};
+    /// When true, DBSCAN's eps is re-estimated each round from the k-NN
+    /// distance distribution of the current gradients (suggest_eps).  This
+    /// keeps detection working as gradients concentrate with convergence.
+    bool adaptive_eps = true;
+    /// Scale applied to the suggested eps (>1 loosens the honest cluster).
+    double adaptive_eps_scale = 2.0;
+    cluster::KMeansParams kmeans;
+    /// The paper's `base` reward multiplier per round.
+    double reward_base = 1.0;
+};
+
+/// Per-client outcome of Algorithm 2.
+struct ClientContribution {
+    fl::NodeId client = 0;
+    double theta = 0.0;     ///< cosine distance to the provisional global
+    bool high = false;      ///< labelled high contribution
+    double reward = 0.0;    ///< theta_i / sum theta_k * base (high only)
+};
+
+/// Round-level outcome.
+struct ContributionReport {
+    std::vector<ClientContribution> entries;  ///< one per update, same order
+    std::vector<std::size_t> high_indices;    ///< indices into the update set
+    std::vector<std::size_t> low_indices;
+    int global_cluster = cluster::ClusterResult::kNoise;
+    cluster::ClusterResult clustering;        ///< labels: updates then global
+
+    /// Client ids labelled low contribution (the "drop index" of Table 2).
+    [[nodiscard]] std::vector<fl::NodeId> low_clients() const;
+    /// Sum of rewards issued this round (== base when any high exists).
+    [[nodiscard]] double total_reward() const;
+};
+
+/// Runs Algorithm 2 against the provisional global update.
+///
+/// `reference` (optional) is the *previous* round's global weights w_r.
+/// When supplied, clustering and theta operate on the round's effective
+/// gradients w_i - w_r instead of the raw weight vectors.  This matters in
+/// practice: every uploaded weight vector shares the large w_r component,
+/// so cosine geometry on raw weights degenerates as training progresses,
+/// while the deltas keep exactly the honest-vs-forged structure the paper's
+/// clustering argument relies on.
+[[nodiscard]] ContributionReport identify_contributions(
+    std::span<const fl::GradientUpdate> updates,
+    std::span<const float> provisional_global,
+    const ContributionConfig& config,
+    std::span<const float> reference = {});
+
+/// Applies the configured strategy and Eq. 1:
+///  * kKeepAll  -> fair-aggregate every update with theta weights;
+///  * kDiscard  -> fair-aggregate the high-contribution updates only
+///    (falls back to all updates if none were labelled high).
+/// Degenerate theta (all ~0, e.g. every update identical) falls back to the
+/// simple average.
+[[nodiscard]] std::vector<float> apply_strategy(
+    std::span<const fl::GradientUpdate> updates,
+    const ContributionReport& report, LowContributionStrategy strategy);
+
+/// Indices (into `updates`) that survive the strategy -- used by the BFL
+/// core to know which clients still participate.
+[[nodiscard]] std::vector<std::size_t> surviving_indices(
+    std::size_t update_count, const ContributionReport& report,
+    LowContributionStrategy strategy);
+
+}  // namespace fairbfl::incentive

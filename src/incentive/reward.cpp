@@ -1,0 +1,46 @@
+#include "incentive/reward.hpp"
+
+#include <algorithm>
+
+namespace fairbfl::incentive {
+
+void RewardLedger::record(std::uint64_t round,
+                          const ContributionReport& report) {
+    for (const auto& entry : report.entries) {
+        if (entry.reward <= 0.0) continue;
+        record_entry(RewardEntry{round, entry.client, entry.reward});
+    }
+    rounds_seen_[round] = true;
+}
+
+void RewardLedger::record_entry(RewardEntry entry) {
+    totals_[entry.client] += entry.amount;
+    rounds_seen_[entry.round] = true;
+    history_.push_back(entry);
+}
+
+double RewardLedger::total_for(fl::NodeId client) const {
+    const auto it = totals_.find(client);
+    return it == totals_.end() ? 0.0 : it->second;
+}
+
+double RewardLedger::grand_total() const {
+    double total = 0.0;
+    for (const auto& [client, amount] : totals_) {
+        (void)client;
+        total += amount;
+    }
+    return total;
+}
+
+std::vector<std::pair<fl::NodeId, double>> RewardLedger::leaderboard() const {
+    std::vector<std::pair<fl::NodeId, double>> board(totals_.begin(),
+                                                     totals_.end());
+    std::sort(board.begin(), board.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    return board;
+}
+
+}  // namespace fairbfl::incentive

@@ -1,0 +1,49 @@
+#pragma once
+// Reward ledger: the durable record of Algorithm 2's reward list.
+//
+// In the chain, rewards live as kReward transactions inside each round's
+// block; this ledger is the queryable index over them (total per client,
+// per-round history, top contributors) that an adopter's billing or
+// reputation system would consume.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "incentive/contribution.hpp"
+
+namespace fairbfl::incentive {
+
+struct RewardEntry {
+    std::uint64_t round = 0;
+    fl::NodeId client = 0;
+    double amount = 0.0;
+};
+
+class RewardLedger {
+public:
+    /// Records every positive reward in the report under `round`.
+    void record(std::uint64_t round, const ContributionReport& report);
+    /// Records a single entry (e.g. replayed from chain transactions).
+    void record_entry(RewardEntry entry);
+
+    [[nodiscard]] double total_for(fl::NodeId client) const;
+    [[nodiscard]] double grand_total() const;
+    [[nodiscard]] std::size_t rounds_recorded() const noexcept {
+        return rounds_seen_.size();
+    }
+    [[nodiscard]] const std::vector<RewardEntry>& history() const noexcept {
+        return history_;
+    }
+
+    /// Clients sorted by cumulative reward, descending (ties by id).
+    [[nodiscard]] std::vector<std::pair<fl::NodeId, double>> leaderboard()
+        const;
+
+private:
+    std::vector<RewardEntry> history_;
+    std::map<fl::NodeId, double> totals_;
+    std::map<std::uint64_t, bool> rounds_seen_;
+};
+
+}  // namespace fairbfl::incentive

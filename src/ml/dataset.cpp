@@ -1,0 +1,82 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace fairbfl::ml {
+
+void Dataset::add(std::span<const float> features, std::int32_t label) {
+    if (features.size() != feature_dim_)
+        throw std::invalid_argument("Dataset::add: feature width mismatch");
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_)
+        throw std::invalid_argument("Dataset::add: label out of range");
+    features_.insert(features_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t samples) {
+    features_.reserve(samples * feature_dim_);
+    labels_.reserve(samples);
+}
+
+void Dataset::set_label(std::size_t i, std::int32_t label) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_)
+        throw std::invalid_argument("Dataset::set_label: label out of range");
+    labels_.at(i) = label;
+}
+
+std::span<const float> Dataset::features_of(std::size_t i) const {
+    assert(i < size());
+    return std::span<const float>(features_.data() + i * feature_dim_,
+                                  feature_dim_);
+}
+
+DatasetView DatasetView::all(const Dataset& parent) {
+    std::vector<std::size_t> indices(parent.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    return DatasetView(parent, std::move(indices));
+}
+
+std::vector<DatasetView> DatasetView::batches(std::size_t batch_size) const {
+    if (batch_size == 0) batch_size = 1;
+    std::vector<DatasetView> out;
+    out.reserve((size() + batch_size - 1) / batch_size);
+    for (std::size_t start = 0; start < size(); start += batch_size) {
+        const std::size_t stop = std::min(start + batch_size, size());
+        std::vector<std::size_t> batch(
+            indices_.begin() + static_cast<std::ptrdiff_t>(start),
+            indices_.begin() + static_cast<std::ptrdiff_t>(stop));
+        out.emplace_back(*parent_, std::move(batch));
+    }
+    return out;
+}
+
+DatasetView DatasetView::take(std::size_t count) const {
+    count = std::min(count, size());
+    return DatasetView(
+        *parent_, std::vector<std::size_t>(
+                      indices_.begin(),
+                      indices_.begin() + static_cast<std::ptrdiff_t>(count)));
+}
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed) {
+    std::vector<std::size_t> indices(dataset.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    auto rng = support::Rng::fork(seed, /*stream=*/0x5EED);
+    rng.shuffle(std::span<std::size_t>(indices));
+    const auto test_count = static_cast<std::size_t>(
+        test_fraction * static_cast<double>(dataset.size()));
+    std::vector<std::size_t> test(indices.begin(),
+                                  indices.begin() +
+                                      static_cast<std::ptrdiff_t>(test_count));
+    std::vector<std::size_t> train(
+        indices.begin() + static_cast<std::ptrdiff_t>(test_count),
+        indices.end());
+    return TrainTestSplit{DatasetView(dataset, std::move(train)),
+                          DatasetView(dataset, std::move(test))};
+}
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,97 @@
+#pragma once
+// In-memory dense dataset: row-major float features + integer labels.
+//
+// A Dataset owns storage; a DatasetView is a cheap index-based subset used
+// for client shards and mini-batches (FL never copies sample data between
+// "devices" -- each client's shard is a view into the one simulation-wide
+// dataset, mirroring the paper's D_i ~ D allocation).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fairbfl::ml {
+
+class Dataset {
+public:
+    Dataset() = default;
+    Dataset(std::size_t feature_dim, std::size_t num_classes)
+        : feature_dim_(feature_dim), num_classes_(num_classes) {}
+
+    /// Appends one sample; features.size() must equal feature_dim().
+    void add(std::span<const float> features, std::int32_t label);
+    void reserve(std::size_t samples);
+
+    [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+    [[nodiscard]] std::size_t feature_dim() const noexcept {
+        return feature_dim_;
+    }
+    [[nodiscard]] std::size_t num_classes() const noexcept {
+        return num_classes_;
+    }
+
+    [[nodiscard]] std::span<const float> features_of(std::size_t i) const;
+    [[nodiscard]] std::int32_t label_of(std::size_t i) const {
+        return labels_[i];
+    }
+
+    /// Overwrites a label (used to inject low-quality clients: the paper's
+    /// §5.3 "noise from low-quality data").  Label must be in range.
+    void set_label(std::size_t i, std::int32_t label);
+
+private:
+    std::size_t feature_dim_ = 0;
+    std::size_t num_classes_ = 0;
+    std::vector<float> features_;  // row-major, size() * feature_dim_
+    std::vector<std::int32_t> labels_;
+};
+
+/// An index-subset of a Dataset.  Indices are stored by value so views can
+/// be shuffled / re-batched without touching the parent.
+class DatasetView {
+public:
+    DatasetView() = default;
+    DatasetView(const Dataset& parent, std::vector<std::size_t> indices)
+        : parent_(&parent), indices_(std::move(indices)) {}
+
+    /// The full dataset as a view.
+    [[nodiscard]] static DatasetView all(const Dataset& parent);
+
+    [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+    [[nodiscard]] const Dataset& parent() const { return *parent_; }
+
+    [[nodiscard]] std::span<const float> features_of(std::size_t i) const {
+        return parent_->features_of(indices_[i]);
+    }
+    [[nodiscard]] std::int32_t label_of(std::size_t i) const {
+        return parent_->label_of(indices_[i]);
+    }
+    [[nodiscard]] const std::vector<std::size_t>& indices() const noexcept {
+        return indices_;
+    }
+
+    /// Splits into consecutive batches of `batch_size` (last may be short).
+    /// Mirrors Algorithm 1 line 8: "split D_i into batches of size B".
+    [[nodiscard]] std::vector<DatasetView> batches(std::size_t batch_size) const;
+
+    /// A view of the first `count` samples (clamped).
+    [[nodiscard]] DatasetView take(std::size_t count) const;
+
+private:
+    const Dataset* parent_ = nullptr;
+    std::vector<std::size_t> indices_;
+};
+
+/// Deterministic train/test split: `test_fraction` of samples (shuffled by
+/// `seed`) go to the second view.
+struct TrainTestSplit {
+    DatasetView train;
+    DatasetView test;
+};
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& dataset,
+                                              double test_fraction,
+                                              std::uint64_t seed);
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,71 @@
+#include "ml/idx_loader.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fairbfl::ml {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+    std::uint8_t bytes[4];
+    in.read(reinterpret_cast<char*>(bytes), 4);
+    if (!in) throw std::runtime_error("IDX: truncated header");
+    return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes[2]) << 8) |
+           static_cast<std::uint32_t>(bytes[3]);
+}
+
+}  // namespace
+
+std::optional<Dataset> load_mnist_idx(const std::string& images_path,
+                                      const std::string& labels_path,
+                                      std::size_t max_samples) {
+    std::ifstream images(images_path, std::ios::binary);
+    std::ifstream labels(labels_path, std::ios::binary);
+    if (!images.is_open() || !labels.is_open()) return std::nullopt;
+
+    // Image header: magic 0x00000803, count, rows, cols.
+    if (read_be32(images) != 0x00000803)
+        throw std::runtime_error("IDX: bad image magic");
+    const std::uint32_t image_count = read_be32(images);
+    const std::uint32_t rows = read_be32(images);
+    const std::uint32_t cols = read_be32(images);
+
+    // Label header: magic 0x00000801, count.
+    if (read_be32(labels) != 0x00000801)
+        throw std::runtime_error("IDX: bad label magic");
+    const std::uint32_t label_count = read_be32(labels);
+    if (image_count != label_count)
+        throw std::runtime_error("IDX: image/label count mismatch");
+
+    std::size_t count = image_count;
+    if (max_samples != 0) count = std::min<std::size_t>(count, max_samples);
+
+    const std::size_t dim = static_cast<std::size_t>(rows) * cols;
+    Dataset dataset(dim, 10);
+    dataset.reserve(count);
+
+    std::vector<std::uint8_t> pixel_row(dim);
+    std::vector<float> sample(dim);
+    for (std::size_t i = 0; i < count; ++i) {
+        images.read(reinterpret_cast<char*>(pixel_row.data()),
+                    static_cast<std::streamsize>(dim));
+        char label_byte = 0;
+        labels.read(&label_byte, 1);
+        if (!images || !labels)
+            throw std::runtime_error("IDX: truncated sample data");
+        for (std::size_t d = 0; d < dim; ++d)
+            sample[d] = static_cast<float>(pixel_row[d]) / 255.0F;
+        const auto label = static_cast<std::int32_t>(
+            static_cast<std::uint8_t>(label_byte));
+        if (label > 9) throw std::runtime_error("IDX: label out of range");
+        dataset.add(sample, label);
+    }
+    return dataset;
+}
+
+}  // namespace fairbfl::ml

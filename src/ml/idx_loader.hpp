@@ -1,0 +1,22 @@
+#pragma once
+// Loader for the MNIST IDX file format (http://yann.lecun.com/exdb/mnist/).
+//
+// When the real MNIST files are present (e.g. train-images-idx3-ubyte +
+// train-labels-idx1-ubyte), experiments can run on them instead of the
+// synthetic substitute: `load_mnist_idx` returns the paired dataset with
+// pixels scaled to [0, 1].
+
+#include <optional>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace fairbfl::ml {
+
+/// Parses an IDX image file + label file pair.  Throws std::runtime_error
+/// on malformed content; returns std::nullopt when either file is absent.
+[[nodiscard]] std::optional<Dataset> load_mnist_idx(
+    const std::string& images_path, const std::string& labels_path,
+    std::size_t max_samples = 0 /* 0 = all */);
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,54 @@
+#include "ml/metrics.hpp"
+
+namespace fairbfl::ml {
+
+double ConfusionMatrix::accuracy() const {
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (std::size_t a = 0; a < num_classes; ++a) {
+        for (std::size_t p = 0; p < num_classes; ++p) {
+            total += at(a, p);
+            if (a == p) correct += at(a, p);
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+    std::size_t support = 0;
+    for (std::size_t p = 0; p < num_classes; ++p) support += at(cls, p);
+    return support == 0 ? 0.0
+                        : static_cast<double>(at(cls, cls)) /
+                              static_cast<double>(support);
+}
+
+double ConfusionMatrix::macro_recall() const {
+    double sum = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        std::size_t support = 0;
+        for (std::size_t p = 0; p < num_classes; ++p) support += at(c, p);
+        if (support == 0) continue;
+        sum += recall(c);
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+ConfusionMatrix confusion_matrix(const Model& model,
+                                 std::span<const float> params,
+                                 const DatasetView& view) {
+    ConfusionMatrix cm;
+    cm.num_classes = view.parent().num_classes();
+    cm.counts.assign(cm.num_classes * cm.num_classes, 0);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        const auto actual = static_cast<std::size_t>(view.label_of(i));
+        const auto predicted = static_cast<std::size_t>(
+            model.predict(params, view.features_of(i)));
+        ++cm.counts[actual * cm.num_classes + predicted];
+    }
+    return cm;
+}
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,33 @@
+#pragma once
+// Evaluation metrics beyond plain accuracy: per-class recall and the
+// confusion matrix, used by examples and tests to sanity-check training.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace fairbfl::ml {
+
+/// Row-major confusion matrix: entry [actual][predicted].
+struct ConfusionMatrix {
+    std::size_t num_classes = 0;
+    std::vector<std::size_t> counts;  // num_classes^2
+
+    [[nodiscard]] std::size_t at(std::size_t actual,
+                                 std::size_t predicted) const {
+        return counts[actual * num_classes + predicted];
+    }
+    [[nodiscard]] double accuracy() const;
+    /// Recall of one class (0 when the class has no samples).
+    [[nodiscard]] double recall(std::size_t cls) const;
+    /// Macro-averaged recall over classes with support.
+    [[nodiscard]] double macro_recall() const;
+};
+
+[[nodiscard]] ConfusionMatrix confusion_matrix(const Model& model,
+                                               std::span<const float> params,
+                                               const DatasetView& view);
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,16 @@
+#include "ml/model.hpp"
+
+namespace fairbfl::ml {
+
+double Model::accuracy(std::span<const float> params,
+                       const DatasetView& view) const {
+    if (view.empty()) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        if (predict(params, view.features_of(i)) == view.label_of(i))
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(view.size());
+}
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,53 @@
+#include "ml/optimizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/vecmath.hpp"
+
+namespace fairbfl::ml {
+
+SgdResult sgd_train(const Model& model, std::span<float> params,
+                    const DatasetView& shard, const SgdParams& sgd,
+                    support::Rng& rng, std::span<const float> anchor) {
+    SgdResult result;
+    if (shard.empty()) return result;
+
+    std::vector<std::size_t> order = shard.indices();
+    std::vector<float> grad(model.param_count());
+    const auto eta = static_cast<float>(sgd.learning_rate);
+
+    for (std::size_t epoch = 0; epoch < sgd.epochs; ++epoch) {
+        if (sgd.shuffle_each_epoch)
+            rng.shuffle(std::span<std::size_t>(order));
+        DatasetView epoch_view(shard.parent(), order);
+        double epoch_loss = 0.0;
+        std::size_t batches_seen = 0;
+        for (const DatasetView& batch : epoch_view.batches(sgd.batch_size)) {
+            support::fill(grad, 0.0F);
+            epoch_loss += model.loss_and_gradient(params, batch, grad);
+            if (sgd.prox_mu > 0.0 && !anchor.empty()) {
+                // grad += mu_prox (w - anchor)
+                const auto mu = static_cast<float>(sgd.prox_mu);
+                for (std::size_t i = 0; i < grad.size(); ++i)
+                    grad[i] += mu * (params[i] - anchor[i]);
+            }
+            support::axpy(-eta, grad, params);
+            ++result.steps_taken;
+            ++batches_seen;
+        }
+        if (batches_seen > 0)
+            result.final_loss = epoch_loss / static_cast<double>(batches_seen);
+    }
+    return result;
+}
+
+double DecreasingStepSchedule::gamma() const noexcept {
+    return std::max(8.0 * L / mu, static_cast<double>(E));
+}
+
+double DecreasingStepSchedule::rate_at(std::size_t round) const noexcept {
+    return 2.0 / (mu * (gamma() + static_cast<double>(round)));
+}
+
+}  // namespace fairbfl::ml

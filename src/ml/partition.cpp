@@ -1,0 +1,213 @@
+#include "ml/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace fairbfl::ml {
+
+namespace {
+
+std::vector<DatasetView> partition_iid(const DatasetView& view,
+                                       const PartitionParams& params,
+                                       support::Rng& rng) {
+    std::vector<std::size_t> order = view.indices();
+    rng.shuffle(std::span<std::size_t>(order));
+    std::vector<DatasetView> shards;
+    shards.reserve(params.num_clients);
+    const std::size_t base = order.size() / params.num_clients;
+    const std::size_t extra = order.size() % params.num_clients;
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < params.num_clients; ++c) {
+        const std::size_t count = base + (c < extra ? 1 : 0);
+        std::vector<std::size_t> shard(
+            order.begin() + static_cast<std::ptrdiff_t>(cursor),
+            order.begin() + static_cast<std::ptrdiff_t>(cursor + count));
+        cursor += count;
+        shards.emplace_back(view.parent(), std::move(shard));
+    }
+    return shards;
+}
+
+std::vector<DatasetView> partition_label_shards(const DatasetView& view,
+                                                const PartitionParams& params,
+                                                support::Rng& rng) {
+    // Sort sample indices by label (stable on index for determinism).
+    std::vector<std::size_t> order = view.indices();
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const auto la = view.parent().label_of(a);
+        const auto lb = view.parent().label_of(b);
+        return la != lb ? la < lb : a < b;
+    });
+
+    const std::size_t total_shards =
+        params.num_clients * params.shards_per_client;
+    if (total_shards == 0)
+        throw std::invalid_argument("partition: zero shards requested");
+
+    // Cut the sorted order into contiguous label shards.
+    std::vector<std::pair<std::size_t, std::size_t>> shard_ranges;
+    shard_ranges.reserve(total_shards);
+    const std::size_t base = order.size() / total_shards;
+    const std::size_t extra = order.size() % total_shards;
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < total_shards; ++s) {
+        const std::size_t count = base + (s < extra ? 1 : 0);
+        shard_ranges.emplace_back(cursor, cursor + count);
+        cursor += count;
+    }
+
+    // Deal shards to clients at random.
+    std::vector<std::size_t> shard_order(total_shards);
+    std::iota(shard_order.begin(), shard_order.end(), std::size_t{0});
+    rng.shuffle(std::span<std::size_t>(shard_order));
+
+    std::vector<DatasetView> shards;
+    shards.reserve(params.num_clients);
+    for (std::size_t c = 0; c < params.num_clients; ++c) {
+        std::vector<std::size_t> indices;
+        for (std::size_t k = 0; k < params.shards_per_client; ++k) {
+            const auto [lo, hi] =
+                shard_ranges[shard_order[c * params.shards_per_client + k]];
+            indices.insert(indices.end(),
+                           order.begin() + static_cast<std::ptrdiff_t>(lo),
+                           order.begin() + static_cast<std::ptrdiff_t>(hi));
+        }
+        shards.emplace_back(view.parent(), std::move(indices));
+    }
+    return shards;
+}
+
+std::vector<DatasetView> partition_dirichlet(const DatasetView& view,
+                                             const PartitionParams& params,
+                                             support::Rng& rng) {
+    const std::size_t num_classes = view.parent().num_classes();
+    // Bucket sample indices per class.
+    std::vector<std::vector<std::size_t>> by_class(num_classes);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        by_class[static_cast<std::size_t>(view.label_of(i))].push_back(
+            view.indices()[i]);
+    }
+    for (auto& bucket : by_class)
+        rng.shuffle(std::span<std::size_t>(bucket));
+
+    // Per class: draw client proportions ~ Dir(alpha) via normalized
+    // Gamma(alpha, 1) samples (Marsaglia-Tsang squeeze for alpha < 1 uses
+    // the boost identity Gamma(a) = Gamma(a+1) * U^(1/a)).
+    const auto gamma_sample = [&rng](double alpha) {
+        double boost = 1.0;
+        double a = alpha;
+        if (a < 1.0) {
+            boost = std::pow(rng.uniform(), 1.0 / a);
+            a += 1.0;
+        }
+        const double d = a - 1.0 / 3.0;
+        const double c = 1.0 / std::sqrt(9.0 * d);
+        for (;;) {
+            double x = 0.0;
+            double v = 0.0;
+            do {
+                x = rng.normal();
+                v = 1.0 + c * x;
+            } while (v <= 0.0);
+            v = v * v * v;
+            const double u = rng.uniform();
+            if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+            if (u > 0.0 &&
+                std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+                return boost * d * v;
+        }
+    };
+
+    std::vector<std::vector<std::size_t>> client_indices(params.num_clients);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        std::vector<double> weights(params.num_clients);
+        double sum = 0.0;
+        for (auto& w : weights) {
+            w = gamma_sample(params.dirichlet_alpha);
+            sum += w;
+        }
+        // Convert proportions to counts (largest-remainder rounding).
+        const std::size_t n = by_class[c].size();
+        std::vector<std::size_t> counts(params.num_clients, 0);
+        std::size_t assigned = 0;
+        for (std::size_t k = 0; k < params.num_clients; ++k) {
+            counts[k] = static_cast<std::size_t>(
+                static_cast<double>(n) * weights[k] / sum);
+            assigned += counts[k];
+        }
+        std::size_t k = 0;
+        while (assigned < n) {  // distribute the remainder round-robin
+            counts[k % params.num_clients] += 1;
+            ++assigned;
+            ++k;
+        }
+        std::size_t cursor = 0;
+        for (std::size_t client = 0; client < params.num_clients; ++client) {
+            for (std::size_t j = 0; j < counts[client]; ++j)
+                client_indices[client].push_back(by_class[c][cursor++]);
+        }
+    }
+
+    std::vector<DatasetView> shards;
+    shards.reserve(params.num_clients);
+    for (auto& indices : client_indices)
+        shards.emplace_back(view.parent(), std::move(indices));
+    return shards;
+}
+
+}  // namespace
+
+std::vector<DatasetView> partition(const DatasetView& view,
+                                   const PartitionParams& params) {
+    if (params.num_clients == 0)
+        throw std::invalid_argument("partition: zero clients");
+    auto rng = support::Rng::fork(params.seed, /*stream=*/0x9A47);
+    switch (params.scheme) {
+        case PartitionScheme::kIid:
+            return partition_iid(view, params, rng);
+        case PartitionScheme::kLabelShards:
+            return partition_label_shards(view, params, rng);
+        case PartitionScheme::kDirichlet:
+            return partition_dirichlet(view, params, rng);
+    }
+    throw std::invalid_argument("partition: unknown scheme");
+}
+
+double label_skew(const std::vector<DatasetView>& shards,
+                  std::size_t num_classes) {
+    if (shards.empty()) return 0.0;
+    // Global histogram.
+    std::vector<double> global_hist(num_classes, 0.0);
+    double total = 0.0;
+    for (const auto& shard : shards) {
+        for (std::size_t i = 0; i < shard.size(); ++i) {
+            global_hist[static_cast<std::size_t>(shard.label_of(i))] += 1.0;
+            total += 1.0;
+        }
+    }
+    if (total == 0.0) return 0.0;
+    for (auto& h : global_hist) h /= total;
+
+    double skew_sum = 0.0;
+    std::size_t counted = 0;
+    for (const auto& shard : shards) {
+        if (shard.empty()) continue;
+        std::vector<double> hist(num_classes, 0.0);
+        for (std::size_t i = 0; i < shard.size(); ++i)
+            hist[static_cast<std::size_t>(shard.label_of(i))] += 1.0;
+        double tv = 0.0;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            tv += std::abs(hist[c] / static_cast<double>(shard.size()) -
+                           global_hist[c]);
+        }
+        skew_sum += 0.5 * tv;
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : skew_sum / static_cast<double>(counted);
+}
+
+}  // namespace fairbfl::ml

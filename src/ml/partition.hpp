@@ -1,0 +1,47 @@
+#pragma once
+// Federated data partitioners: how the global dataset D becomes the client
+// shards D_i (Algorithm 1 line 5: "allocate D_i ~ D to C_i").
+//
+// Three schemes:
+//  * IID          -- shuffle, equal slices.
+//  * LabelShards  -- McMahan-style pathological non-IID: sort by label, cut
+//                    into shards, give each client `shards_per_client`
+//                    (default 2).  This is the paper's default ("we assign
+//                    data to clients following the non-IID dynamics").
+//  * Dirichlet    -- per-client class mixture ~ Dir(alpha); the standard
+//                    tunable-skew benchmark (extension beyond the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace fairbfl::ml {
+
+enum class PartitionScheme : std::uint8_t {
+    kIid = 0,
+    kLabelShards = 1,
+    kDirichlet = 2,
+};
+
+struct PartitionParams {
+    PartitionScheme scheme = PartitionScheme::kLabelShards;
+    std::size_t num_clients = 100;
+    std::size_t shards_per_client = 2;  ///< LabelShards only
+    double dirichlet_alpha = 0.5;       ///< Dirichlet only
+    std::uint64_t seed = 42;
+};
+
+/// Splits `view` into one DatasetView per client.  Every sample of `view`
+/// is assigned to exactly one client; client shard sizes are as equal as
+/// the scheme permits.
+[[nodiscard]] std::vector<DatasetView> partition(const DatasetView& view,
+                                                 const PartitionParams& params);
+
+/// Label-distribution skew diagnostic: mean over clients of the total
+/// variation distance between the client's label histogram and the global
+/// histogram (0 = perfectly IID, -> 1 = disjoint labels).
+[[nodiscard]] double label_skew(const std::vector<DatasetView>& shards,
+                                std::size_t num_classes);
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,51 @@
+#include "ml/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace fairbfl::ml {
+
+Dataset make_synthetic_mnist(const SyntheticMnistParams& params) {
+    Dataset dataset(params.feature_dim, params.num_classes);
+    dataset.reserve(params.samples);
+
+    auto proto_rng = support::Rng::fork(params.seed, /*stream=*/0xC1A55);
+    // Class prototypes in [0,1]^d, pushed apart by class_separation.
+    std::vector<std::vector<float>> prototypes(params.num_classes);
+    std::vector<std::vector<float>> aniso(params.num_classes);
+    for (std::size_t c = 0; c < params.num_classes; ++c) {
+        prototypes[c].resize(params.feature_dim);
+        aniso[c].resize(params.feature_dim);
+        for (std::size_t d = 0; d < params.feature_dim; ++d) {
+            prototypes[c][d] = static_cast<float>(
+                0.5 + 0.5 * params.class_separation * proto_rng.normal() * 0.5);
+            // Per-class, per-pixel noise multiplier in [0.5, 1.5]: classes
+            // differ in which "strokes" vary, like real digits do.
+            aniso[c][d] = static_cast<float>(proto_rng.uniform(0.5, 1.5));
+        }
+    }
+
+    auto sample_rng = support::Rng::fork(params.seed, /*stream=*/0xDA7A);
+    std::vector<float> sample(params.feature_dim);
+    for (std::size_t i = 0; i < params.samples; ++i) {
+        const auto label = static_cast<std::int32_t>(
+            sample_rng.uniform_int(0,
+                                   static_cast<std::int64_t>(params.num_classes) - 1));
+        const auto c = static_cast<std::size_t>(label);
+        for (std::size_t d = 0; d < params.feature_dim; ++d) {
+            const double noise =
+                params.noise_sigma * static_cast<double>(aniso[c][d]) *
+                sample_rng.normal();
+            sample[d] = std::clamp(prototypes[c][d] + static_cast<float>(noise),
+                                   0.0F, 1.0F) *
+                        static_cast<float>(params.feature_scale);
+        }
+        dataset.add(sample, label);
+    }
+    return dataset;
+}
+
+}  // namespace fairbfl::ml

@@ -1,0 +1,74 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+
+namespace fairbfl::support {
+
+bool CsvWriter::tee_to_file(const std::string& path) {
+    file_.open(path, std::ios::trunc);
+    has_file_ = file_.is_open();
+    return has_file_;
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+    std::vector<std::string> cells;
+    cells.reserve(names.size());
+    for (auto name : names) cells.emplace_back(name);
+    emit(cells);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { emit(names); }
+
+CsvWriter::Row& CsvWriter::Row::col(std::string_view value) {
+    cells_.emplace_back(value);
+    return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::col(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    cells_.emplace_back(buf);
+    return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::col(std::int64_t value) {
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+CsvWriter::Row& CsvWriter::Row::col(std::size_t value) {
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+void CsvWriter::Row::end() {
+    if (emitted_) return;
+    emitted_ = true;
+    writer_->emit(cells_);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) line += ',';
+        line += escape(cells[i]);
+    }
+    line += '\n';
+    (*out_) << line;
+    if (has_file_) file_ << line;
+}
+
+std::string CsvWriter::escape(std::string_view raw) {
+    const bool needs_quotes =
+        raw.find_first_of(",\"\n") != std::string_view::npos;
+    if (!needs_quotes) return std::string(raw);
+    std::string quoted = "\"";
+    for (char c : raw) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+}  // namespace fairbfl::support

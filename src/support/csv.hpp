@@ -1,0 +1,60 @@
+#pragma once
+// CSV emission for bench harnesses (each figure bench prints the series the
+// paper plots; optionally mirrored to a file for offline plotting).
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairbfl::support {
+
+/// Streams rows as RFC-4180-ish CSV (quotes fields containing separators).
+/// Writes to an std::ostream it does not own, and optionally tees to a file.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    /// Additionally mirrors all rows into `path` (truncating).  Returns
+    /// false when the file cannot be opened; stream output still works.
+    bool tee_to_file(const std::string& path);
+
+    void header(std::initializer_list<std::string_view> names);
+    void header(const std::vector<std::string>& names);
+
+    /// Appends one row.  Values are formatted with up to 6 significant
+    /// decimal digits for doubles.
+    class Row {
+    public:
+        explicit Row(CsvWriter& writer) : writer_(&writer) {}
+        Row& col(std::string_view value);
+        Row& col(double value);
+        Row& col(std::int64_t value);
+        Row& col(std::size_t value);
+        /// Emits the row (also happens on destruction).
+        void end();
+        ~Row() { end(); }
+        Row(const Row&) = delete;
+        Row& operator=(const Row&) = delete;
+
+    private:
+        CsvWriter* writer_;
+        std::vector<std::string> cells_;
+        bool emitted_ = false;
+    };
+
+    Row row() { return Row(*this); }
+
+private:
+    friend class Row;
+    void emit(const std::vector<std::string>& cells);
+    static std::string escape(std::string_view raw);
+
+    std::ostream* out_;
+    std::ofstream file_;
+    bool has_file_ = false;
+};
+
+}  // namespace fairbfl::support

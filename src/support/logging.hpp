@@ -1,0 +1,34 @@
+#pragma once
+// Leveled stderr logger.  The simulator is mostly silent by default; raise
+// the level (FAIRBFL_LOG=debug environment variable or set_level) to trace
+// round-by-round behaviour.
+
+#include <cstdio>
+#include <string_view>
+
+namespace fairbfl::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log level (defaults to kWarn; FAIRBFL_LOG overrides).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+#define FAIRBFL_LOG_DEBUG(...) \
+    ::fairbfl::support::detail::vlog(::fairbfl::support::LogLevel::kDebug, __VA_ARGS__)
+#define FAIRBFL_LOG_INFO(...) \
+    ::fairbfl::support::detail::vlog(::fairbfl::support::LogLevel::kInfo, __VA_ARGS__)
+#define FAIRBFL_LOG_WARN(...) \
+    ::fairbfl::support::detail::vlog(::fairbfl::support::LogLevel::kWarn, __VA_ARGS__)
+#define FAIRBFL_LOG_ERROR(...) \
+    ::fairbfl::support::detail::vlog(::fairbfl::support::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace fairbfl::support

@@ -1,0 +1,125 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+namespace fairbfl::support {
+
+struct ThreadPool::Impl {
+    std::mutex mutex;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    const std::function<void(unsigned)>* job = nullptr;
+    std::uint64_t epoch = 0;       // bumped per run(); workers wait on it
+    unsigned remaining = 0;        // workers yet to finish current epoch
+    bool shutting_down = false;
+    std::exception_ptr first_error;
+    std::vector<std::thread> workers;
+
+    void worker_loop(unsigned index) {
+        std::uint64_t seen_epoch = 0;
+        for (;;) {
+            const std::function<void(unsigned)>* my_job = nullptr;
+            {
+                std::unique_lock lock(mutex);
+                cv_work.wait(lock, [&] {
+                    return shutting_down || epoch != seen_epoch;
+                });
+                if (shutting_down) return;
+                seen_epoch = epoch;
+                my_job = job;
+            }
+            try {
+                (*my_job)(index);
+            } catch (...) {
+                std::lock_guard lock(mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+            {
+                std::lock_guard lock(mutex);
+                if (--remaining == 0) cv_done.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+    }
+    n_threads_ = threads;
+    // Worker 0 is the calling thread; spawn the rest.
+    impl_->workers.reserve(threads > 0 ? threads - 1 : 0);
+    for (unsigned i = 1; i < threads; ++i) {
+        impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(impl_->mutex);
+        impl_->shutting_down = true;
+    }
+    impl_->cv_work.notify_all();
+    for (auto& t : impl_->workers) t.join();
+    delete impl_;
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& body) {
+    const unsigned helpers = n_threads_ - 1;
+    if (helpers > 0) {
+        std::lock_guard lock(impl_->mutex);
+        impl_->job = &body;
+        impl_->remaining = helpers;
+        impl_->first_error = nullptr;
+        ++impl_->epoch;
+    }
+    if (helpers > 0) impl_->cv_work.notify_all();
+
+    std::exception_ptr caller_error;
+    try {
+        body(0);
+    } catch (...) {
+        caller_error = std::current_exception();
+    }
+
+    if (helpers > 0) {
+        std::unique_lock lock(impl_->mutex);
+        impl_->cv_done.wait(lock, [&] { return impl_->remaining == 0; });
+        if (!caller_error) caller_error = impl_->first_error;
+    }
+    if (caller_error) std::rethrow_exception(caller_error);
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool& pool, std::size_t grain) {
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+    if (pool.size() <= 1 || count <= grain) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{begin};
+    // Dynamic chunking by `grain`; iteration->thread mapping does not affect
+    // results because iterations are independent.
+    pool.run([&](unsigned) {
+        for (;;) {
+            const std::size_t chunk = next.fetch_add(grain);
+            if (chunk >= end) return;
+            const std::size_t stop = std::min(end, chunk + grain);
+            for (std::size_t i = chunk; i < stop; ++i) body(i);
+        }
+    });
+}
+
+}  // namespace fairbfl::support

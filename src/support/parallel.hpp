@@ -1,0 +1,54 @@
+#pragma once
+// Minimal work-sharing primitives for the simulator.
+//
+// The FL clients of a round are embarrassingly parallel (the paper's
+// Procedure I executes "in parallel on each client"), so the hot loop is a
+// static-chunked parallel_for over client indices, in the spirit of an
+// OpenMP `parallel for schedule(static)`.  Determinism is preserved because
+// every iteration draws randomness only from its own Rng stream.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace fairbfl::support {
+
+/// A fixed-size pool of worker threads with a fork/join `run` primitive.
+/// Construction spawns the workers once; destruction joins them.  The pool
+/// is intentionally tiny: the simulator needs fork/join data parallelism,
+/// not a general task graph.
+class ThreadPool {
+public:
+    /// `threads == 0` selects std::thread::hardware_concurrency().
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned size() const noexcept { return n_threads_; }
+
+    /// Runs body(worker_index) on every worker (and the calling thread as
+    /// worker 0 when the pool has one thread), returning when all complete.
+    /// Exceptions thrown by `body` are rethrown on the caller (first one
+    /// wins).
+    void run(const std::function<void(unsigned)>& body);
+
+    /// Shared process-wide pool (lazily constructed).
+    static ThreadPool& global();
+
+private:
+    struct Impl;
+    Impl* impl_;
+    unsigned n_threads_;
+};
+
+/// Statically-chunked parallel loop over [begin, end).  `body(i)` must be
+/// safe to invoke concurrently for distinct i.  Falls back to a serial loop
+/// when the range is small or the pool has a single worker.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool& pool = ThreadPool::global(),
+                  std::size_t grain = 1);
+
+}  // namespace fairbfl::support

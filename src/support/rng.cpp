@@ -1,0 +1,117 @@
+#include "support/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fairbfl::support {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t root_seed, std::uint64_t stream,
+              std::uint64_t round) noexcept {
+    // Mix the three coordinates through SplitMix64 so that nearby ids give
+    // unrelated states.
+    std::uint64_t sm = root_seed;
+    const std::uint64_t a = splitmix64(sm);
+    sm ^= stream * 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t b = splitmix64(sm);
+    sm ^= round * 0xD1342543DE82EF95ULL;
+    const std::uint64_t c = splitmix64(sm);
+    Rng rng(a ^ rotl(b, 17) ^ rotl(c, 43));
+    // Warm up: decorrelates streams whose mixed seeds share low-bit structure.
+    for (int i = 0; i < 4; ++i) (void)rng();
+    return rng;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53-bit mantissa trick: take the top 53 bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full span
+    // Unbiased rejection sampling (Lemire-style threshold).
+    const std::uint64_t threshold = (~range + 1) % range;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+    }
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 is kept away from 0 so log() stays finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0x1.0p-60);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) noexcept {
+    assert(rate > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0x1.0p-60);
+    return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+    if (k > n) k = n;
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    // Partial Fisher-Yates: first k slots become the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(
+            uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(n) - 1));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+}  // namespace fairbfl::support

@@ -1,0 +1,78 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbfl::support {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    if (window == 0) window = 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        acc += xs[i];
+        if (i >= window) acc -= xs[i - window];
+        const std::size_t effective = std::min(i + 1, window);
+        out.push_back(acc / static_cast<double>(effective));
+    }
+    return out;
+}
+
+ConvergenceDetector::ConvergenceDetector(double tolerance,
+                                         std::size_t patience) noexcept
+    : tolerance_(tolerance), patience_(patience) {}
+
+bool ConvergenceDetector::add(double accuracy) noexcept {
+    const std::size_t round = rounds_seen_++;
+    if (converged()) return true;
+    if (has_last_ && std::abs(accuracy - last_) <= tolerance_) {
+        ++stable_streak_;
+        if (stable_streak_ >= patience_) converged_round_ = round;
+    } else {
+        stable_streak_ = 0;
+    }
+    last_ = accuracy;
+    has_last_ = true;
+    return converged();
+}
+
+}  // namespace fairbfl::support

@@ -1,0 +1,72 @@
+#pragma once
+// Small statistics helpers used by the experiment harness and benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fairbfl::support {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100].  Copies and sorts.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Trailing moving average with the given window (window >= 1).
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> xs,
+                                                 std::size_t window);
+
+/// Convergence detector implementing the paper's Section 5.2 rule:
+/// "converged when the accuracy change is within 0.5% for 5 consecutive
+/// communication rounds".  Feed one accuracy per round; `converged_at()`
+/// returns the first round index satisfying the rule, or npos.
+class ConvergenceDetector {
+public:
+    explicit ConvergenceDetector(double tolerance = 0.005,
+                                 std::size_t patience = 5) noexcept;
+
+    /// Returns true once the rule has fired (sticky).
+    bool add(double accuracy) noexcept;
+
+    [[nodiscard]] bool converged() const noexcept {
+        return converged_round_ != npos;
+    }
+    [[nodiscard]] std::size_t converged_at() const noexcept {
+        return converged_round_;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    double tolerance_;
+    std::size_t patience_;
+    std::size_t rounds_seen_ = 0;
+    std::size_t stable_streak_ = 0;
+    double last_ = 0.0;
+    bool has_last_ = false;
+    std::size_t converged_round_ = npos;
+};
+
+}  // namespace fairbfl::support

@@ -1,0 +1,79 @@
+#include "support/vecmath.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fairbfl::support {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+    for (auto& v : x) v *= alpha;
+}
+
+void fill(std::span<float> x, float value) noexcept {
+    for (auto& v : x) v = value;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) noexcept {
+    assert(x.size() == y.size());
+    double acc = 0.0;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    return acc;
+}
+
+double norm2(std::span<const float> x) noexcept {
+    return std::sqrt(dot(x, x));
+}
+
+double squared_distance(std::span<const float> x,
+                        std::span<const float> y) noexcept {
+    assert(x.size() == y.size());
+    double acc = 0.0;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
+        acc += d * d;
+    }
+    return acc;
+}
+
+double cosine_distance(std::span<const float> x,
+                       std::span<const float> y) noexcept {
+    const double nx = norm2(x);
+    const double ny = norm2(y);
+    if (nx == 0.0 || ny == 0.0) return 1.0;
+    double cosine = dot(x, y) / (nx * ny);
+    // Clamp away floating-point drift so the result stays in [0, 2].
+    if (cosine > 1.0) cosine = 1.0;
+    if (cosine < -1.0) cosine = -1.0;
+    return 1.0 - cosine;
+}
+
+void weighted_sum(std::span<const std::vector<float>> rows,
+                  std::span<const double> weights, std::span<float> out) {
+    assert(rows.size() == weights.size());
+    fill(out, 0.0F);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        assert(rows[r].size() == out.size());
+        axpy(static_cast<float>(weights[r]), rows[r], out);
+    }
+}
+
+void mean_of(std::span<const std::vector<float>> rows, std::span<float> out) {
+    fill(out, 0.0F);
+    if (rows.empty()) return;
+    for (const auto& row : rows) {
+        assert(row.size() == out.size());
+        axpy(1.0F, row, out);
+    }
+    scale(out, 1.0F / static_cast<float>(rows.size()));
+}
+
+}  // namespace fairbfl::support

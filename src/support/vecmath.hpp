@@ -1,0 +1,48 @@
+#pragma once
+// Flat-vector math kernels shared by the ML, clustering and FL layers.
+//
+// Gradients travel through the system as contiguous float vectors
+// (std::vector<float> / std::span<const float>); these kernels are the only
+// place that touches the raw loops, so they are written to auto-vectorize.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fairbfl::support {
+
+/// y += alpha * x.  Sizes must match.
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// x *= alpha.
+void scale(std::span<float> x, float alpha) noexcept;
+
+/// Sets every element of x to value.
+void fill(std::span<float> x, float value) noexcept;
+
+/// Dot product (accumulated in double for stability).
+[[nodiscard]] double dot(std::span<const float> x,
+                         std::span<const float> y) noexcept;
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const float> x) noexcept;
+
+/// Squared Euclidean distance between x and y.
+[[nodiscard]] double squared_distance(std::span<const float> x,
+                                      std::span<const float> y) noexcept;
+
+/// Cosine *distance* 1 - cos(x, y) in [0, 2].  This is the theta of the
+/// paper's Algorithm 2 ("the larger the theta, the farther the distance").
+/// Zero vectors are treated as maximally distant (distance 1).
+[[nodiscard]] double cosine_distance(std::span<const float> x,
+                                     std::span<const float> y) noexcept;
+
+/// out = sum_i weights[i] * rows[i].  All rows must share out's size;
+/// weights.size() must equal rows.size().
+void weighted_sum(std::span<const std::vector<float>> rows,
+                  std::span<const double> weights, std::span<float> out);
+
+/// out = (1/n) * sum_i rows[i].
+void mean_of(std::span<const std::vector<float>> rows, std::span<float> out);
+
+}  // namespace fairbfl::support

@@ -1,0 +1,109 @@
+// Pure-blockchain baseline: queuing, fork behaviour, ledger integrity.
+
+#include <gtest/gtest.h>
+
+#include "core/blockchain_baseline.hpp"
+
+namespace {
+
+namespace core = fairbfl::core;
+
+core::BlockchainBaselineConfig small_config() {
+    core::BlockchainBaselineConfig config;
+    config.workers = 20;
+    config.miners = 2;
+    config.tx_payload_bytes = 1000;
+    config.rounds = 5;
+    config.seed = 42;
+    return config;
+}
+
+TEST(BlockchainBaseline, DrainsBacklogEveryRound) {
+    core::BlockchainBaseline system(small_config());
+    for (int r = 0; r < 5; ++r) {
+        const auto record = system.run_round();
+        EXPECT_EQ(record.transactions, 20U);
+        EXPECT_GE(record.blocks_mined, 1U);
+        EXPECT_EQ(record.mempool_backlog, 0U);
+    }
+}
+
+TEST(BlockchainBaseline, LedgerHoldsEveryTransaction) {
+    auto config = small_config();
+    core::BlockchainBaseline system(config);
+    const auto history = system.run();
+    std::size_t blocks = 0;
+    std::size_t txs = 0;
+    const auto& chain = system.blockchain();
+    for (std::size_t h = 1; h < chain.height(); ++h) {
+        ++blocks;
+        txs += chain.at(h).transactions.size();
+    }
+    std::size_t expected_blocks = 0;
+    for (const auto& record : history) expected_blocks += record.blocks_mined;
+    EXPECT_EQ(blocks, expected_blocks);
+    EXPECT_EQ(txs, 20U * 5U);
+    EXPECT_TRUE(chain.validate_full_chain());
+}
+
+TEST(BlockchainBaseline, BlockCountGrowsWithWorkers) {
+    // Queuing: 120 workers x ~1KB > 100KB block -> at least 2 blocks/round.
+    auto small = small_config();
+    auto big = small_config();
+    big.workers = 120;
+    core::BlockchainBaseline sys_small(small);
+    core::BlockchainBaseline sys_big(big);
+    const auto rec_small = sys_small.run_round();
+    const auto rec_big = sys_big.run_round();
+    EXPECT_GT(rec_big.blocks_mined, rec_small.blocks_mined);
+}
+
+TEST(BlockchainBaseline, DelayGrowsWithWorkers) {
+    auto a = small_config();
+    a.workers = 20;
+    a.rounds = 8;
+    auto b = small_config();
+    b.workers = 120;
+    b.rounds = 8;
+    double delay_small = 0.0;
+    double delay_big = 0.0;
+    for (const auto& r : core::BlockchainBaseline(a).run())
+        delay_small += r.delay.total();
+    for (const auto& r : core::BlockchainBaseline(b).run())
+        delay_big += r.delay.total();
+    EXPECT_GT(delay_big, delay_small);
+}
+
+TEST(BlockchainBaseline, ForksAppearWithManyMiners) {
+    auto config = small_config();
+    config.miners = 10;
+    config.rounds = 20;
+    config.delay.network.miner_bandwidth_Bps = 2e5;  // slow gossip
+    core::BlockchainBaseline system(config);
+    std::size_t forks = 0;
+    for (const auto& record : system.run()) forks += record.forks;
+    EXPECT_GT(forks, 0U);
+}
+
+TEST(BlockchainBaseline, DeterministicInSeed) {
+    core::BlockchainBaseline a(small_config());
+    core::BlockchainBaseline b(small_config());
+    const auto ra = a.run(3);
+    const auto rb = b.run(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(ra[i].delay.total(), rb[i].delay.total());
+}
+
+TEST(BlockchainBaseline, SignedModeProducesVerifiedChain) {
+    auto config = small_config();
+    config.workers = 4;
+    config.key_bits = 384;
+    core::BlockchainBaseline system(config);
+    (void)system.run_round();
+    const auto& chain = system.blockchain();
+    EXPECT_GE(chain.height(), 2U);
+    for (const auto& tx : chain.at(1).transactions)
+        EXPECT_FALSE(tx.signature.empty());
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Canonical serialization: round-trips and truncation errors.
+
+#include <gtest/gtest.h>
+
+#include "chain/bytes.hpp"
+
+namespace {
+
+using fairbfl::chain::ByteReader;
+using fairbfl::chain::Bytes;
+using fairbfl::chain::ByteWriter;
+
+TEST(Bytes, IntegerRoundTrip) {
+    ByteWriter w;
+    w.u8(0xAB);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFULL);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFU);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, FloatRoundTrip) {
+    ByteWriter w;
+    w.f32(3.14159F);
+    w.f64(-2.718281828459045);
+    ByteReader r(w.bytes());
+    EXPECT_FLOAT_EQ(r.f32(), 3.14159F);
+    EXPECT_DOUBLE_EQ(r.f64(), -2.718281828459045);
+}
+
+TEST(Bytes, FloatSpecialValues) {
+    ByteWriter w;
+    w.f32(0.0F);
+    w.f32(-0.0F);
+    w.f32(std::numeric_limits<float>::infinity());
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.f32(), 0.0F);
+    EXPECT_EQ(r.f32(), -0.0F);
+    EXPECT_EQ(r.f32(), std::numeric_limits<float>::infinity());
+}
+
+TEST(Bytes, BlobAndStringRoundTrip) {
+    ByteWriter w;
+    w.blob(Bytes{1, 2, 3});
+    w.str("hello, chain");
+    w.blob(Bytes{});
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(r.str(), "hello, chain");
+    EXPECT_TRUE(r.blob().empty());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, F32VectorRoundTrip) {
+    const std::vector<float> v{1.0F, -0.5F, 1e-7F, 42.0F};
+    ByteWriter w;
+    w.f32_vector(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.f32_vector(), v);
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+    ByteWriter w;
+    w.u32(7);
+    {
+        ByteReader r(w.bytes());
+        EXPECT_THROW((void)r.u64(), std::out_of_range);
+    }
+    {
+        // Length prefix claims more bytes than exist.
+        ByteWriter w2;
+        w2.u32(100);
+        ByteReader r(w2.bytes());
+        EXPECT_THROW((void)r.blob(), std::out_of_range);
+    }
+}
+
+TEST(Bytes, RawReadsExactCount) {
+    ByteWriter w;
+    w.raw(Bytes{9, 8, 7, 6});
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.raw(2), (Bytes{9, 8}));
+    EXPECT_EQ(r.remaining(), 2U);
+    EXPECT_THROW((void)r.raw(3), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Clustering: distances, DBSCAN separation/noise behaviour, k-means, and
+// the adaptive-eps heuristic.
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.hpp"
+#include "cluster/kmeans.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+namespace cl = fairbfl::cluster;
+using fairbfl::support::Rng;
+
+/// Two well-separated Gaussian blobs in 2D plus optional far outliers.
+std::vector<std::vector<float>> two_blobs(std::size_t per_blob,
+                                          std::size_t outliers,
+                                          std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<float>> points;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+        points.push_back({static_cast<float>(1.0 + 0.05 * rng.normal()),
+                          static_cast<float>(0.0 + 0.05 * rng.normal())});
+    }
+    for (std::size_t i = 0; i < per_blob; ++i) {
+        points.push_back({static_cast<float>(0.0 + 0.05 * rng.normal()),
+                          static_cast<float>(1.0 + 0.05 * rng.normal())});
+    }
+    for (std::size_t i = 0; i < outliers; ++i) {
+        points.push_back({static_cast<float>(-8.0 - rng.uniform()),
+                          static_cast<float>(-8.0 - rng.uniform())});
+    }
+    return points;
+}
+
+TEST(Distance, MatrixIsSymmetricZeroDiagonal) {
+    const auto points = two_blobs(5, 0, 1);
+    const cl::DistanceMatrix m(cl::Metric::kEuclidean, points);
+    ASSERT_EQ(m.size(), 10U);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+        for (std::size_t j = 0; j < m.size(); ++j)
+            EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+    }
+}
+
+TEST(Distance, MetricsDisagreeOnScaledVectors) {
+    const std::vector<float> a{1.0F, 0.0F};
+    const std::vector<float> b{10.0F, 0.0F};
+    EXPECT_NEAR(cl::distance(cl::Metric::kCosine, a, b), 0.0, 1e-9);
+    EXPECT_NEAR(cl::distance(cl::Metric::kEuclidean, a, b), 9.0, 1e-9);
+}
+
+TEST(Dbscan, SeparatesTwoBlobs) {
+    const auto points = two_blobs(20, 0, 2);
+    const cl::Dbscan dbscan(
+        {.eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 2);
+    // Points within a blob share a label; across blobs they differ.
+    EXPECT_TRUE(result.same_cluster(0, 1));
+    EXPECT_TRUE(result.same_cluster(20, 21));
+    EXPECT_FALSE(result.same_cluster(0, 20));
+}
+
+TEST(Dbscan, FlagsOutliersAsNoise) {
+    const auto points = two_blobs(20, 3, 3);
+    const cl::Dbscan dbscan(
+        {.eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    for (std::size_t i = 40; i < 43; ++i)
+        EXPECT_EQ(result.labels[i], cl::ClusterResult::kNoise) << i;
+}
+
+TEST(Dbscan, EverythingNoiseWhenEpsTiny) {
+    const auto points = two_blobs(10, 0, 4);
+    const cl::Dbscan dbscan(
+        {.eps = 1e-9, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 0);
+    for (const int label : result.labels)
+        EXPECT_EQ(label, cl::ClusterResult::kNoise);
+}
+
+TEST(Dbscan, OneClusterWhenEpsHuge) {
+    const auto points = two_blobs(10, 2, 5);
+    const cl::Dbscan dbscan(
+        {.eps = 100.0, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 1);
+    EXPECT_EQ(result.members_of(0).size(), points.size());
+}
+
+TEST(Dbscan, EmptyInput) {
+    const cl::Dbscan dbscan;
+    const auto result = dbscan.cluster({});
+    EXPECT_EQ(result.num_clusters, 0);
+    EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(Dbscan, CosineMetricGroupsByDirection) {
+    // Same direction, very different magnitudes -> one cluster under cosine.
+    std::vector<std::vector<float>> points;
+    Rng rng(6);
+    for (int i = 0; i < 10; ++i) {
+        const auto scale = static_cast<float>(1.0 + 10.0 * rng.uniform());
+        points.push_back({scale * 1.0F,
+                          scale * (0.5F + 0.01F * static_cast<float>(
+                                                      rng.normal()))});
+    }
+    for (int i = 0; i < 10; ++i) {
+        const auto scale = static_cast<float>(1.0 + 10.0 * rng.uniform());
+        points.push_back({-scale * 1.0F,
+                          scale * (0.5F + 0.01F * static_cast<float>(
+                                                      rng.normal()))});
+    }
+    const cl::Dbscan dbscan(
+        {.eps = 0.05, .min_pts = 3, .metric = cl::Metric::kCosine});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 2);
+    EXPECT_TRUE(result.same_cluster(0, 5));
+    EXPECT_FALSE(result.same_cluster(0, 15));
+}
+
+TEST(Dbscan, SuggestEpsSeparatesBlobGapsFromNeighbours) {
+    const auto points = two_blobs(20, 0, 7);
+    const double eps =
+        cl::suggest_eps(points, 3, cl::Metric::kEuclidean);
+    // Within-blob spacing ~0.05-0.2; across blobs ~1.4.
+    EXPECT_GT(eps, 0.005);
+    EXPECT_LT(eps, 1.0);
+}
+
+TEST(KMeans, SeparatesTwoBlobsEuclidean) {
+    const auto points = two_blobs(20, 0, 8);
+    const cl::KMeans kmeans({.k = 2,
+                             .max_iterations = 50,
+                             .metric = cl::Metric::kEuclidean,
+                             .seed = 1});
+    const auto result = kmeans.cluster(points);
+    EXPECT_EQ(result.num_clusters, 2);
+    EXPECT_TRUE(result.same_cluster(0, 1));
+    EXPECT_TRUE(result.same_cluster(20, 25));
+    EXPECT_FALSE(result.same_cluster(0, 20));
+}
+
+TEST(KMeans, NeverProducesNoise) {
+    const auto points = two_blobs(15, 5, 9);
+    const cl::KMeans kmeans({.k = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = kmeans.cluster(points);
+    for (const int label : result.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, result.num_clusters);
+    }
+}
+
+TEST(KMeans, ClampsKToPointCount) {
+    const auto points = two_blobs(2, 0, 10);  // 4 points
+    const cl::KMeans kmeans({.k = 10, .metric = cl::Metric::kEuclidean});
+    const auto result = kmeans.cluster(points);
+    EXPECT_LE(result.num_clusters, 4);
+}
+
+TEST(KMeans, DeterministicInSeed) {
+    const auto points = two_blobs(20, 0, 11);
+    const cl::KMeans a({.k = 2, .metric = cl::Metric::kEuclidean, .seed = 5});
+    const cl::KMeans b({.k = 2, .metric = cl::Metric::kEuclidean, .seed = 5});
+    EXPECT_EQ(a.cluster(points).labels, b.cluster(points).labels);
+}
+
+TEST(ClusterResult, MembersOfAndSameCluster) {
+    cl::ClusterResult result;
+    result.labels = {0, 1, 0, cl::ClusterResult::kNoise, 1};
+    result.num_clusters = 2;
+    EXPECT_EQ(result.members_of(0), (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(result.members_of(1), (std::vector<std::size_t>{1, 4}));
+    EXPECT_TRUE(result.same_cluster(1, 4));
+    EXPECT_FALSE(result.same_cluster(0, 1));
+    // Noise never matches, not even itself.
+    EXPECT_FALSE(result.same_cluster(3, 3));
+}
+
+}  // namespace

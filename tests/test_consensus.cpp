@@ -1,0 +1,115 @@
+// Multi-replica consensus: propagation, temporary divergence, longest-chain
+// reconciliation, and eventual consistency under concurrent mining.
+
+#include <gtest/gtest.h>
+
+#include "chain/consensus.hpp"
+
+namespace {
+
+namespace ch = fairbfl::chain;
+
+ch::NetworkModel fast_net() {
+    ch::NetworkParams params;
+    params.miner_base_latency_s = 0.01;
+    params.miner_jitter_sigma = 0.0;
+    return ch::NetworkModel(params);
+}
+
+TEST(Consensus, SingleBlockReachesAllReplicas) {
+    ch::ConsensusSim sim(4, 9, fast_net(), 42);
+    const ch::Block block = sim.make_child_block(0, {}, 1);
+    EXPECT_EQ(sim.broadcast(0, block, 0.0), ch::BlockVerdict::kAccepted);
+    EXPECT_FALSE(sim.consistent());  // peers have not heard yet
+    sim.drain();
+    EXPECT_TRUE(sim.consistent());
+    for (std::size_t m = 0; m < 4; ++m)
+        EXPECT_EQ(sim.replica(m).height(), 2U);
+}
+
+TEST(Consensus, DeliveryRespectsSimulatedTime) {
+    ch::ConsensusSim sim(3, 9, fast_net(), 42);
+    const ch::Block block = sim.make_child_block(0, {}, 1);
+    (void)sim.broadcast(0, block, /*now=*/10.0);
+    sim.advance_to(10.0);  // links take ~10 ms: nothing due yet
+    EXPECT_EQ(sim.replica(1).height(), 1U);
+    EXPECT_GT(sim.in_flight(), 0U);
+    sim.advance_to(11.0);
+    EXPECT_EQ(sim.replica(1).height(), 2U);
+    EXPECT_EQ(sim.in_flight(), 0U);
+}
+
+TEST(Consensus, CompetingBlocksForkThenReconcile) {
+    // Miners 0 and 1 mine children of genesis "simultaneously"; replicas
+    // disagree until one side extends its branch.
+    ch::ConsensusSim sim(2, 9, fast_net(), 42);
+    const ch::Block a = sim.make_child_block(0, {}, 100);
+    const ch::Block b = sim.make_child_block(1, {}, 200);  // same parent
+    (void)sim.broadcast(0, a, 0.0);
+    (void)sim.broadcast(1, b, 0.0);
+    sim.drain();
+    // Both replicas hold both blocks; each keeps its own tip (tie).
+    EXPECT_EQ(sim.distinct_tips(), 2U);
+    EXPECT_EQ(sim.replica(0).total_blocks_known(), 3U);
+
+    // Miner 0 extends its branch: longest chain wins everywhere.
+    const ch::Block a2 = sim.make_child_block(0, {}, 101);
+    (void)sim.broadcast(0, a2, 1.0);
+    sim.drain();
+    EXPECT_TRUE(sim.consistent());
+    EXPECT_EQ(sim.replica(1).tip().header.hash(), a2.header.hash());
+    EXPECT_EQ(sim.replica(1).reorg_count(), 1U);  // replica 1 switched
+}
+
+TEST(Consensus, ManyRoundsOfConcurrentMiningConverge) {
+    // Torture: every round two random miners build on their own current
+    // tips before hearing each other; after the dust settles all replicas
+    // agree and hold a valid chain.
+    ch::ConsensusSim sim(5, 9, fast_net(), 43);
+    fairbfl::support::Rng rng(99);
+    double now = 0.0;
+    for (int round = 0; round < 30; ++round) {
+        const auto m1 = static_cast<std::size_t>(rng.uniform_int(0, 4));
+        auto m2 = static_cast<std::size_t>(rng.uniform_int(0, 4));
+        const ch::Block b1 = sim.make_child_block(
+            m1, {}, static_cast<std::uint64_t>(round) * 10 + 1);
+        (void)sim.broadcast(m1, b1, now);
+        if (rng.bernoulli(0.4)) {  // concurrent competitor
+            if (m2 == m1) m2 = (m2 + 1) % 5;
+            const ch::Block b2 = sim.make_child_block(
+                m2, {}, static_cast<std::uint64_t>(round) * 10 + 2);
+            (void)sim.broadcast(m2, b2, now + 0.001);
+        }
+        now += 1.0;
+        sim.advance_to(now);
+    }
+    // Let a single miner finish the race so ties resolve.
+    const ch::Block closer = sim.make_child_block(0, {}, 999);
+    (void)sim.broadcast(0, closer, now);
+    const ch::Block closer2 = sim.make_child_block(0, {}, 1000);
+    (void)sim.broadcast(0, closer2, now + 0.5);
+    sim.drain();
+
+    EXPECT_TRUE(sim.consistent());
+    for (std::size_t m = 0; m < 5; ++m) {
+        EXPECT_TRUE(sim.replica(m).validate_full_chain());
+        EXPECT_GE(sim.replica(m).height(), 30U);
+    }
+}
+
+TEST(Consensus, TransactionsSurviveReplication) {
+    ch::ConsensusSim sim(3, 9, fast_net(), 44);
+    std::vector<ch::Transaction> txs;
+    txs.push_back(ch::make_gradient_tx(ch::TxKind::kGlobalUpdate, 7, 0,
+                                       std::vector<float>{1.5F, -2.5F}));
+    const ch::Block block = sim.make_child_block(0, txs, 1);
+    (void)sim.broadcast(0, block, 0.0);
+    sim.drain();
+    for (std::size_t m = 0; m < 3; ++m) {
+        const auto gradient = sim.replica(m).latest_global_gradient();
+        ASSERT_TRUE(gradient.has_value()) << "replica " << m;
+        EXPECT_EQ(*gradient, (std::vector<float>{1.5F, -2.5F}));
+    }
+}
+
+}  // namespace

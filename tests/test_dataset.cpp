@@ -1,0 +1,171 @@
+// Dataset / DatasetView / synthetic generator / train-test split / IDX.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "ml/dataset.hpp"
+#include "ml/idx_loader.hpp"
+#include "ml/synthetic_mnist.hpp"
+
+namespace {
+
+namespace ml = fairbfl::ml;
+
+ml::Dataset tiny_dataset() {
+    ml::Dataset ds(2, 3);
+    ds.add(std::vector<float>{0.0F, 0.1F}, 0);
+    ds.add(std::vector<float>{1.0F, 1.1F}, 1);
+    ds.add(std::vector<float>{2.0F, 2.1F}, 2);
+    ds.add(std::vector<float>{3.0F, 3.1F}, 0);
+    return ds;
+}
+
+TEST(Dataset, AddAndAccess) {
+    const ml::Dataset ds = tiny_dataset();
+    EXPECT_EQ(ds.size(), 4U);
+    EXPECT_EQ(ds.feature_dim(), 2U);
+    EXPECT_EQ(ds.num_classes(), 3U);
+    EXPECT_EQ(ds.label_of(1), 1);
+    EXPECT_FLOAT_EQ(ds.features_of(2)[0], 2.0F);
+}
+
+TEST(Dataset, RejectsBadInput) {
+    ml::Dataset ds(2, 3);
+    EXPECT_THROW(ds.add(std::vector<float>{1.0F}, 0), std::invalid_argument);
+    EXPECT_THROW(ds.add(std::vector<float>{1.0F, 2.0F}, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(ds.add(std::vector<float>{1.0F, 2.0F}, -1),
+                 std::invalid_argument);
+}
+
+TEST(DatasetView, AllCoversDataset) {
+    const ml::Dataset ds = tiny_dataset();
+    const auto view = ml::DatasetView::all(ds);
+    EXPECT_EQ(view.size(), ds.size());
+    for (std::size_t i = 0; i < view.size(); ++i)
+        EXPECT_EQ(view.label_of(i), ds.label_of(i));
+}
+
+TEST(DatasetView, BatchesSplitCorrectly) {
+    const ml::Dataset ds = tiny_dataset();
+    const auto view = ml::DatasetView::all(ds);
+    const auto batches = view.batches(3);
+    ASSERT_EQ(batches.size(), 2U);
+    EXPECT_EQ(batches[0].size(), 3U);
+    EXPECT_EQ(batches[1].size(), 1U);  // ragged tail
+    // Batch of zero is clamped to one.
+    EXPECT_EQ(view.batches(0).size(), 4U);
+}
+
+TEST(DatasetView, TakeClamps) {
+    const ml::Dataset ds = tiny_dataset();
+    const auto view = ml::DatasetView::all(ds);
+    EXPECT_EQ(view.take(2).size(), 2U);
+    EXPECT_EQ(view.take(100).size(), 4U);
+}
+
+TEST(TrainTestSplit, PartitionsWithoutOverlap) {
+    const auto ds = ml::make_synthetic_mnist(
+        {.samples = 200, .feature_dim = 8, .num_classes = 4, .seed = 1});
+    const auto split = ml::train_test_split(ds, 0.25, 7);
+    EXPECT_EQ(split.test.size(), 50U);
+    EXPECT_EQ(split.train.size(), 150U);
+    std::set<std::size_t> train_idx(split.train.indices().begin(),
+                                    split.train.indices().end());
+    for (const auto i : split.test.indices())
+        EXPECT_FALSE(train_idx.contains(i));
+}
+
+TEST(TrainTestSplit, DeterministicInSeed) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 100, .seed = 2});
+    const auto a = ml::train_test_split(ds, 0.2, 7);
+    const auto b = ml::train_test_split(ds, 0.2, 7);
+    EXPECT_EQ(a.test.indices(), b.test.indices());
+    const auto c = ml::train_test_split(ds, 0.2, 8);
+    EXPECT_NE(a.test.indices(), c.test.indices());
+}
+
+TEST(SyntheticMnist, ShapeAndDeterminism) {
+    ml::SyntheticMnistParams params;
+    params.samples = 300;
+    params.feature_dim = 16;
+    params.seed = 9;
+    const auto a = ml::make_synthetic_mnist(params);
+    EXPECT_EQ(a.size(), 300U);
+    EXPECT_EQ(a.feature_dim(), 16U);
+    const auto b = ml::make_synthetic_mnist(params);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(a.label_of(i), b.label_of(i));
+        EXPECT_EQ(a.features_of(i)[0], b.features_of(i)[0]);
+    }
+}
+
+TEST(SyntheticMnist, PixelsInUnitRangeAllClassesPresent) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 2000, .seed = 3});
+    std::set<std::int32_t> classes;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        classes.insert(ds.label_of(i));
+        for (const float pixel : ds.features_of(i)) {
+            ASSERT_GE(pixel, 0.0F);
+            ASSERT_LE(pixel, 1.0F);
+        }
+    }
+    EXPECT_EQ(classes.size(), 10U);
+}
+
+TEST(IdxLoader, MissingFilesReturnNullopt) {
+    EXPECT_FALSE(ml::load_mnist_idx("/nonexistent/images",
+                                    "/nonexistent/labels")
+                     .has_value());
+}
+
+TEST(IdxLoader, ParsesWellFormedFiles) {
+    // Write a 2-sample 2x2 IDX pair.
+    const std::string img_path = "/tmp/fairbfl_test_images.idx";
+    const std::string lbl_path = "/tmp/fairbfl_test_labels.idx";
+    {
+        std::ofstream img(img_path, std::ios::binary);
+        const unsigned char img_header[] = {0, 0, 8, 3, 0, 0, 0, 2,
+                                            0, 0, 0, 2, 0, 0, 0, 2};
+        img.write(reinterpret_cast<const char*>(img_header), 16);
+        const unsigned char pixels[] = {0, 64, 128, 255, 10, 20, 30, 40};
+        img.write(reinterpret_cast<const char*>(pixels), 8);
+
+        std::ofstream lbl(lbl_path, std::ios::binary);
+        const unsigned char lbl_header[] = {0, 0, 8, 1, 0, 0, 0, 2};
+        lbl.write(reinterpret_cast<const char*>(lbl_header), 8);
+        const unsigned char labels[] = {7, 2};
+        lbl.write(reinterpret_cast<const char*>(labels), 2);
+    }
+    const auto ds = ml::load_mnist_idx(img_path, lbl_path);
+    ASSERT_TRUE(ds.has_value());
+    EXPECT_EQ(ds->size(), 2U);
+    EXPECT_EQ(ds->feature_dim(), 4U);
+    EXPECT_EQ(ds->label_of(0), 7);
+    EXPECT_EQ(ds->label_of(1), 2);
+    EXPECT_FLOAT_EQ(ds->features_of(0)[3], 1.0F);  // 255 -> 1.0
+    std::remove(img_path.c_str());
+    std::remove(lbl_path.c_str());
+}
+
+TEST(IdxLoader, RejectsBadMagic) {
+    const std::string img_path = "/tmp/fairbfl_bad_images.idx";
+    const std::string lbl_path = "/tmp/fairbfl_bad_labels.idx";
+    {
+        std::ofstream img(img_path, std::ios::binary);
+        const unsigned char junk[] = {1, 2, 3, 4, 0, 0, 0, 0,
+                                      0, 0, 0, 0, 0, 0, 0, 0};
+        img.write(reinterpret_cast<const char*>(junk), 16);
+        std::ofstream lbl(lbl_path, std::ios::binary);
+        lbl.write(reinterpret_cast<const char*>(junk), 8);
+    }
+    EXPECT_THROW((void)ml::load_mnist_idx(img_path, lbl_path),
+                 std::runtime_error);
+    std::remove(img_path.c_str());
+    std::remove(lbl_path.c_str());
+}
+
+}  // namespace

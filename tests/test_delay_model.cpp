@@ -1,0 +1,132 @@
+// Delay model: component behaviour and the orderings the paper's figures
+// rely on.
+
+#include <gtest/gtest.h>
+
+#include "core/delay_model.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+namespace core = fairbfl::core;
+using fairbfl::support::Rng;
+using fairbfl::support::RunningStats;
+
+TEST(DelayModel, TLocalIsMaxOverClients) {
+    const core::DelayModel model;
+    const std::vector<std::size_t> ids{0, 1, 2};
+    const std::vector<std::size_t> steps{10, 100, 20};
+    const double all = model.t_local(ids, steps, 42);
+    const double slow_only = model.t_local(
+        std::vector<std::size_t>{1}, std::vector<std::size_t>{100}, 42);
+    EXPECT_DOUBLE_EQ(all, std::max(
+        slow_only,
+        std::max(model.t_local(std::vector<std::size_t>{0},
+                               std::vector<std::size_t>{10}, 42),
+                 model.t_local(std::vector<std::size_t>{2},
+                               std::vector<std::size_t>{20}, 42))));
+}
+
+TEST(DelayModel, TLocalScalesWithBatchSteps) {
+    const core::DelayModel model;
+    const std::vector<std::size_t> ids{7};
+    const double few = model.t_local(ids, std::vector<std::size_t>{10}, 42);
+    const double many = model.t_local(ids, std::vector<std::size_t>{100}, 42);
+    EXPECT_NEAR(many / few, 10.0, 1e-9);  // same hetero factor cancels
+}
+
+TEST(DelayModel, HeteroFactorIsStablePerClient) {
+    const core::DelayModel model;
+    const std::vector<std::size_t> steps{50};
+    const double a = model.t_local(std::vector<std::size_t>{3}, steps, 42);
+    const double b = model.t_local(std::vector<std::size_t>{3}, steps, 42);
+    EXPECT_DOUBLE_EQ(a, b);
+    const double other = model.t_local(std::vector<std::size_t>{4}, steps, 42);
+    EXPECT_NE(a, other);
+}
+
+TEST(DelayModel, TGlQuadraticInClusteredPoints) {
+    const core::DelayModel model;
+    const double none = model.t_gl(10, 0);
+    const double small = model.t_gl(10, 10);
+    const double large = model.t_gl(10, 100);
+    EXPECT_LT(none, small);
+    EXPECT_NEAR((large - none) / (small - none), 100.0, 1e-6);
+}
+
+TEST(DelayModel, FairMiningFlatAcrossMinerCounts) {
+    // Difficulty retargeting keeps the fleet's block interval constant, so
+    // FAIR's mining delay barely moves with the miner count (Figure 6b's
+    // flat FAIR curve); only the small relay propagation grows.
+    const core::DelayModel model;
+    Rng rng2(1);
+    Rng rng8(1);
+    RunningStats m2;
+    RunningStats m8;
+    for (int i = 0; i < 2000; ++i) {
+        m2.add(model.t_bl_fair(2, 1000, rng2));
+        m8.add(model.t_bl_fair(8, 1000, rng8));
+    }
+    EXPECT_GT(m8.mean(), 0.8 * m2.mean());
+    EXPECT_LT(m8.mean(), 1.5 * m2.mean());
+}
+
+TEST(DelayModel, VanillaMiningSlowerThanFairSameSetting) {
+    // Idle-mining waste + forks make the vanilla race strictly costlier.
+    const core::DelayModel model;
+    Rng rng_fair(2);
+    Rng rng_van(2);
+    RunningStats fair;
+    RunningStats vanilla;
+    for (int i = 0; i < 2000; ++i) {
+        fair.add(model.t_bl_fair(2, 1000, rng_fair));
+        vanilla.add(model.t_bl_vanilla(2, 1, 1000, rng_van));
+    }
+    EXPECT_GT(vanilla.mean(), fair.mean() * 1.2);
+}
+
+TEST(DelayModel, VanillaMiningScalesWithBlockCount) {
+    const core::DelayModel model;
+    Rng rng1(3);
+    Rng rng3(3);
+    RunningStats one;
+    RunningStats three;
+    for (int i = 0; i < 1000; ++i) {
+        one.add(model.t_bl_vanilla(2, 1, 1000, rng1));
+        three.add(model.t_bl_vanilla(2, 3, 1000, rng3));
+    }
+    EXPECT_NEAR(three.mean() / one.mean(), 3.0, 0.35);
+}
+
+TEST(DelayModel, VanillaForkCostGrowsWithMiners) {
+    // The Figure 6b mechanism: more miners -> more forks -> superlinear
+    // delay growth for the vanilla chain.
+    core::DelayParams params;
+    const core::DelayModel model(params);
+    RunningStats m2;
+    RunningStats m10;
+    Rng rngA(4);
+    Rng rngB(4);
+    std::size_t forks2 = 0;
+    std::size_t forks10 = 0;
+    for (int i = 0; i < 1500; ++i) {
+        std::size_t f = 0;
+        m2.add(model.t_bl_vanilla(2, 1, params.max_block_bytes, rngA, &f));
+        forks2 += f;
+        m10.add(model.t_bl_vanilla(10, 1, params.max_block_bytes, rngB, &f));
+        forks10 += f;
+    }
+    EXPECT_GT(forks10, forks2 * 2);
+}
+
+TEST(DelayModel, RoundDelayTotalSumsComponents) {
+    core::RoundDelay delay;
+    delay.t_local = 1.0;
+    delay.t_up = 0.5;
+    delay.t_ex = 0.25;
+    delay.t_gl = 0.125;
+    delay.t_bl = 2.0;
+    EXPECT_DOUBLE_EQ(delay.total(), 3.875);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Difficulty retargeting: adjustment direction, clamping, convergence of
+// the closed loop against the stochastic mining model.
+
+#include <gtest/gtest.h>
+
+#include "chain/difficulty.hpp"
+#include "chain/pow.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+namespace ch = fairbfl::chain;
+using fairbfl::support::Rng;
+
+TEST(Retarget, NoChangeBeforeWindowFills) {
+    ch::DifficultyRetargeter retargeter(1000, {.window = 4});
+    retargeter.observe_interval(0.1);
+    retargeter.observe_interval(0.1);
+    retargeter.observe_interval(0.1);
+    EXPECT_EQ(retargeter.difficulty(), 1000U);
+    EXPECT_EQ(retargeter.retarget_count(), 0U);
+}
+
+TEST(Retarget, FastBlocksRaiseDifficulty) {
+    ch::DifficultyRetargeter retargeter(
+        1000, {.target_interval_s = 3.0, .window = 4, .max_step = 8.0});
+    for (int i = 0; i < 4; ++i) retargeter.observe_interval(1.0);
+    // Blocks were 3x too fast -> difficulty x3.
+    EXPECT_EQ(retargeter.difficulty(), 3000U);
+    EXPECT_EQ(retargeter.retarget_count(), 1U);
+}
+
+TEST(Retarget, SlowBlocksLowerDifficulty) {
+    ch::DifficultyRetargeter retargeter(
+        1000, {.target_interval_s = 3.0, .window = 4, .max_step = 8.0});
+    for (int i = 0; i < 4; ++i) retargeter.observe_interval(6.0);
+    EXPECT_EQ(retargeter.difficulty(), 500U);
+}
+
+TEST(Retarget, StepIsClamped) {
+    ch::DifficultyRetargeter retargeter(
+        1000, {.target_interval_s = 3.0, .window = 2, .max_step = 4.0});
+    retargeter.observe_interval(1e-6);
+    retargeter.observe_interval(1e-6);
+    EXPECT_EQ(retargeter.difficulty(), 4000U);  // not x3e6
+    retargeter.observe_interval(1e9);
+    retargeter.observe_interval(1e9);
+    EXPECT_EQ(retargeter.difficulty(), 1000U);  // back down by /4
+}
+
+TEST(Retarget, RespectsBounds) {
+    ch::RetargetParams params;
+    params.target_interval_s = 3.0;
+    params.window = 2;
+    params.max_step = 1000.0;
+    params.min_difficulty = 100;
+    params.max_difficulty = 5000;
+    ch::DifficultyRetargeter retargeter(1000, params);
+    retargeter.observe_interval(1e-9);
+    retargeter.observe_interval(1e-9);
+    EXPECT_EQ(retargeter.difficulty(), 5000U);
+    for (int i = 0; i < 10; ++i) retargeter.observe_interval(1e9);
+    EXPECT_EQ(retargeter.difficulty(), 100U);
+}
+
+TEST(Retarget, ClosedLoopConvergesToTargetInterval) {
+    // Feed the retargeter the exponential solve times its own difficulty
+    // produces; the loop should settle near the target interval.
+    const double hashrate = 1e6;
+    const double target = 3.0;
+    ch::DifficultyRetargeter retargeter(
+        50'000,  // deliberately ~60x too easy
+        {.target_interval_s = target, .window = 8, .max_step = 4.0});
+    Rng rng(7);
+
+    fairbfl::support::RunningStats late_intervals;
+    for (int block = 0; block < 4000; ++block) {
+        const double interval = ch::sample_mining_seconds(
+            hashrate, retargeter.difficulty(), rng);
+        retargeter.observe_interval(interval);
+        if (block > 3000) late_intervals.add(interval);
+    }
+    EXPECT_GT(retargeter.retarget_count(), 100U);
+    EXPECT_NEAR(late_intervals.mean(), target, 0.5);
+}
+
+}  // namespace

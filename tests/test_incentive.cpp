@@ -1,0 +1,252 @@
+// Algorithm 2: contribution identification, reward math, strategies, and
+// the reward ledger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "incentive/contribution.hpp"
+#include "incentive/reward.hpp"
+#include "support/rng.hpp"
+#include "support/vecmath.hpp"
+
+namespace {
+
+namespace inc = fairbfl::incentive;
+namespace fl = fairbfl::fl;
+using fairbfl::support::Rng;
+
+/// Honest updates tightly packed around `base`; forged ones far away.
+std::vector<fl::GradientUpdate> make_round(std::size_t honest,
+                                           std::size_t forged,
+                                           std::uint64_t seed,
+                                           std::size_t dim = 12) {
+    Rng rng(seed);
+    std::vector<float> base(dim);
+    for (auto& v : base) v = static_cast<float>(rng.normal());
+
+    std::vector<fl::GradientUpdate> updates;
+    fl::NodeId id = 0;
+    for (std::size_t i = 0; i < honest; ++i) {
+        fl::GradientUpdate u;
+        u.client = id++;
+        u.weights = base;
+        for (auto& v : u.weights)
+            v += static_cast<float>(0.02 * rng.normal());
+        updates.push_back(std::move(u));
+    }
+    for (std::size_t i = 0; i < forged; ++i) {
+        fl::GradientUpdate u;
+        u.client = id++;
+        u.weights.resize(dim);
+        for (std::size_t d = 0; d < dim; ++d)
+            u.weights[d] = -3.0F * base[d] +
+                           static_cast<float>(0.5 * rng.normal());
+        updates.push_back(std::move(u));
+    }
+    return updates;
+}
+
+inc::ContributionConfig default_config() {
+    inc::ContributionConfig config;
+    config.adaptive_eps = true;
+    config.dbscan.min_pts = 3;
+    return config;
+}
+
+TEST(Contribution, HonestMajorityIsHighForgedIsLow) {
+    auto updates = make_round(10, 2, 1);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+
+    ASSERT_EQ(report.entries.size(), 12U);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_TRUE(report.entries[i].high) << "honest client " << i;
+    for (std::size_t i = 10; i < 12; ++i)
+        EXPECT_FALSE(report.entries[i].high) << "forged client " << i;
+    EXPECT_EQ(report.high_indices.size(), 10U);
+    EXPECT_EQ(report.low_indices.size(), 2U);
+}
+
+TEST(Contribution, RewardsSumToBaseAndOnlyHighEarn) {
+    auto updates = make_round(8, 2, 2);
+    const auto provisional = fl::simple_average(updates);
+    auto config = default_config();
+    config.reward_base = 5.0;
+    const auto report =
+        inc::identify_contributions(updates, provisional, config);
+
+    double total = 0.0;
+    for (const auto& entry : report.entries) {
+        if (!entry.high) {
+            EXPECT_DOUBLE_EQ(entry.reward, 0.0);
+        }
+        total += entry.reward;
+    }
+    EXPECT_NEAR(total, 5.0, 1e-9);
+    EXPECT_NEAR(report.total_reward(), 5.0, 1e-9);
+}
+
+TEST(Contribution, RewardProportionalToTheta) {
+    auto updates = make_round(6, 0, 3);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    // reward_i / reward_j == theta_i / theta_j for high contributors.
+    const auto& e = report.entries;
+    for (std::size_t i = 1; i < e.size(); ++i) {
+        if (e[0].theta > 1e-12 && e[i].theta > 1e-12) {
+            EXPECT_NEAR(e[i].reward / e[0].reward, e[i].theta / e[0].theta,
+                        1e-6);
+        }
+    }
+}
+
+TEST(Contribution, IdenticalGradientsSplitRewardEvenly) {
+    std::vector<fl::GradientUpdate> updates;
+    for (fl::NodeId id = 0; id < 4; ++id) {
+        fl::GradientUpdate u;
+        u.client = id;
+        u.weights = {1.0F, 2.0F, 3.0F};
+        updates.push_back(std::move(u));
+    }
+    const auto provisional = fl::simple_average(updates);
+    auto config = default_config();
+    config.adaptive_eps = false;
+    config.dbscan.eps = 0.5;
+    const auto report =
+        inc::identify_contributions(updates, provisional, config);
+    for (const auto& entry : report.entries)
+        EXPECT_NEAR(entry.reward, 0.25, 1e-9);
+}
+
+TEST(Contribution, EmptyUpdateSetYieldsEmptyReport) {
+    const std::vector<fl::GradientUpdate> updates;
+    const std::vector<float> provisional{1.0F};
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    EXPECT_TRUE(report.entries.empty());
+    EXPECT_DOUBLE_EQ(report.total_reward(), 0.0);
+}
+
+TEST(Contribution, LowClientsSortedIds) {
+    auto updates = make_round(6, 3, 4);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    const auto low = report.low_clients();
+    EXPECT_EQ(low.size(), 3U);
+    for (std::size_t i = 1; i < low.size(); ++i)
+        EXPECT_LT(low[i - 1], low[i]);
+}
+
+TEST(Contribution, KMeansVariantAlsoSeparates) {
+    auto updates = make_round(10, 2, 5);
+    const auto provisional = fl::simple_average(updates);
+    auto config = default_config();
+    config.clustering = inc::ClusteringChoice::kKMeans;
+    config.kmeans.k = 2;
+    const auto report =
+        inc::identify_contributions(updates, provisional, config);
+    // The two forged clients must not share the global's cluster.
+    EXPECT_FALSE(report.entries[10].high);
+    EXPECT_FALSE(report.entries[11].high);
+}
+
+TEST(Strategy, KeepAllUsesEveryUpdate) {
+    auto updates = make_round(6, 2, 6);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    const auto survivors = inc::surviving_indices(
+        updates.size(), report, inc::LowContributionStrategy::kKeepAll);
+    EXPECT_EQ(survivors.size(), updates.size());
+}
+
+TEST(Strategy, DiscardDropsLowContributors) {
+    auto updates = make_round(6, 2, 7);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    const auto survivors = inc::surviving_indices(
+        updates.size(), report, inc::LowContributionStrategy::kDiscard);
+    EXPECT_EQ(survivors.size(), 6U);
+    for (const auto i : survivors) EXPECT_LT(i, 6U);
+}
+
+TEST(Strategy, DiscardYieldsCleanerGlobalUnderAttack) {
+    // The recomputed global (discard) must be closer to the honest mean
+    // than the provisional average that includes forged gradients.
+    auto updates = make_round(10, 3, 8);
+    std::vector<fl::GradientUpdate> honest_only(updates.begin(),
+                                                updates.begin() + 10);
+    const auto honest_mean = fl::simple_average(honest_only);
+    const auto provisional = fl::simple_average(updates);
+    const auto report =
+        inc::identify_contributions(updates, provisional, default_config());
+    const auto cleaned = inc::apply_strategy(
+        updates, report, inc::LowContributionStrategy::kDiscard);
+
+    const double dirty_gap = std::sqrt(
+        fairbfl::support::squared_distance(provisional, honest_mean));
+    const double clean_gap = std::sqrt(
+        fairbfl::support::squared_distance(cleaned, honest_mean));
+    EXPECT_LT(clean_gap, dirty_gap * 0.5);
+}
+
+TEST(Strategy, DiscardWithNoHighFallsBackToAll) {
+    auto updates = make_round(4, 0, 9);
+    inc::ContributionReport report;
+    report.entries.resize(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        report.entries[i].client = static_cast<fl::NodeId>(i);
+        report.entries[i].theta = 0.1;
+        report.entries[i].high = false;
+        report.low_indices.push_back(i);
+    }
+    const auto survivors = inc::surviving_indices(
+        4, report, inc::LowContributionStrategy::kDiscard);
+    EXPECT_EQ(survivors.size(), 4U);
+    const auto aggregated = inc::apply_strategy(
+        updates, report, inc::LowContributionStrategy::kDiscard);
+    EXPECT_EQ(aggregated.size(), updates[0].weights.size());
+}
+
+TEST(RewardLedger, AccumulatesAcrossRounds) {
+    inc::RewardLedger ledger;
+    ledger.record_entry({0, 1, 2.0});
+    ledger.record_entry({0, 2, 1.0});
+    ledger.record_entry({1, 1, 0.5});
+    EXPECT_DOUBLE_EQ(ledger.total_for(1), 2.5);
+    EXPECT_DOUBLE_EQ(ledger.total_for(2), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.total_for(99), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.grand_total(), 3.5);
+    EXPECT_EQ(ledger.rounds_recorded(), 2U);
+    EXPECT_EQ(ledger.history().size(), 3U);
+}
+
+TEST(RewardLedger, LeaderboardSortedByTotal) {
+    inc::RewardLedger ledger;
+    ledger.record_entry({0, 5, 1.0});
+    ledger.record_entry({0, 3, 4.0});
+    ledger.record_entry({1, 7, 4.0});  // tie with 3 -> lower id first
+    const auto board = ledger.leaderboard();
+    ASSERT_EQ(board.size(), 3U);
+    EXPECT_EQ(board[0].first, 3U);
+    EXPECT_EQ(board[1].first, 7U);
+    EXPECT_EQ(board[2].first, 5U);
+}
+
+TEST(RewardLedger, RecordSkipsZeroRewards) {
+    inc::RewardLedger ledger;
+    inc::ContributionReport report;
+    report.entries.resize(2);
+    report.entries[0] = {.client = 1, .theta = 0.5, .high = true, .reward = 1.0};
+    report.entries[1] = {.client = 2, .theta = 0.9, .high = false, .reward = 0.0};
+    ledger.record(3, report);
+    EXPECT_EQ(ledger.history().size(), 1U);
+    EXPECT_DOUBLE_EQ(ledger.total_for(2), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// KeyStore: registration, per-node signing, disabled-crypto mode.
+
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.hpp"
+
+namespace {
+
+using fairbfl::crypto::KeyStore;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+    return {s.begin(), s.end()};
+}
+
+TEST(KeyStore, RegisterAndSign) {
+    KeyStore store(42, 384);
+    store.register_node(1);
+    store.register_node(2);
+    EXPECT_TRUE(store.has_node(1));
+    EXPECT_FALSE(store.has_node(3));
+    EXPECT_EQ(store.size(), 2U);
+
+    const auto payload = bytes_of("w_{r+1} from client 1");
+    const auto sig = store.sign(1, payload);
+    EXPECT_TRUE(store.verify(1, payload, sig));
+    // Signature from node 1 must not verify as node 2.
+    EXPECT_FALSE(store.verify(2, payload, sig));
+}
+
+TEST(KeyStore, UnknownNodeVerifyFailsSignThrows) {
+    KeyStore store(42, 384);
+    const auto payload = bytes_of("x");
+    EXPECT_THROW((void)store.sign(9, payload), std::out_of_range);
+    EXPECT_FALSE(store.verify(9, payload, {}));
+}
+
+TEST(KeyStore, ReRegisterIsIdempotent) {
+    KeyStore store(42, 384);
+    store.register_node(5);
+    const auto payload = bytes_of("stable key");
+    const auto sig = store.sign(5, payload);
+    store.register_node(5);  // must not rotate the key
+    EXPECT_TRUE(store.verify(5, payload, sig));
+    EXPECT_EQ(store.size(), 1U);
+}
+
+TEST(KeyStore, DeterministicAcrossInstances) {
+    KeyStore a(7, 384);
+    KeyStore b(7, 384);
+    a.register_node(3);
+    b.register_node(3);
+    const auto payload = bytes_of("same seed, same key");
+    EXPECT_TRUE(b.verify(3, payload, a.sign(3, payload)));
+}
+
+TEST(KeyStore, DifferentSeedsDifferentKeys) {
+    KeyStore a(7, 384);
+    KeyStore b(8, 384);
+    a.register_node(3);
+    b.register_node(3);
+    const auto payload = bytes_of("cross-seed");
+    EXPECT_FALSE(b.verify(3, payload, a.sign(3, payload)));
+}
+
+TEST(KeyStore, DisabledCryptoShortCircuits) {
+    KeyStore store(42, 0);
+    EXPECT_FALSE(store.crypto_enabled());
+    store.register_node(1);  // no-op
+    EXPECT_EQ(store.size(), 0U);
+    const auto payload = bytes_of("anything");
+    EXPECT_TRUE(store.sign(1, payload).empty());
+    EXPECT_TRUE(store.verify(1, payload, {}));
+    EXPECT_TRUE(store.verify(999, payload, bytes_of("junk")));
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Mempool: FIFO order, byte-capacity packing, drain estimation.
+
+#include <gtest/gtest.h>
+
+#include "chain/mempool.hpp"
+
+namespace {
+
+namespace ch = fairbfl::chain;
+
+ch::Transaction payload_tx(std::uint32_t origin, std::size_t payload_bytes) {
+    ch::Transaction tx;
+    tx.kind = ch::TxKind::kPayload;
+    tx.origin = origin;
+    tx.payload.assign(payload_bytes, 0xAA);
+    return tx;
+}
+
+TEST(Mempool, FifoOrderPreserved) {
+    ch::Mempool pool(1 << 20);
+    for (std::uint32_t i = 0; i < 5; ++i) pool.add(payload_tx(i, 10));
+    const auto block = pool.pack_block();
+    ASSERT_EQ(block.size(), 5U);
+    for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(block[i].origin, i);
+    EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, RespectsByteCapacity) {
+    // Each tx is 100-byte payload + 21 bytes framing = 121 bytes.
+    const std::size_t tx_bytes = payload_tx(0, 100).size_bytes();
+    ch::Mempool pool(tx_bytes * 3);
+    for (std::uint32_t i = 0; i < 7; ++i) pool.add(payload_tx(i, 100));
+    EXPECT_EQ(pool.pack_block().size(), 3U);
+    EXPECT_EQ(pool.pack_block().size(), 3U);
+    EXPECT_EQ(pool.pack_block().size(), 1U);
+    EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, OversizedTransactionStillPacksAlone) {
+    ch::Mempool pool(50);
+    pool.add(payload_tx(1, 500));  // far beyond the block size
+    pool.add(payload_tx(2, 10));
+    const auto block = pool.pack_block();
+    ASSERT_EQ(block.size(), 1U);
+    EXPECT_EQ(block[0].origin, 1U);
+    EXPECT_EQ(pool.size(), 1U);
+}
+
+TEST(Mempool, PendingBytesTracked) {
+    ch::Mempool pool(1000);
+    EXPECT_EQ(pool.pending_bytes(), 0U);
+    const auto tx = payload_tx(0, 64);
+    pool.add(tx);
+    pool.add(tx);
+    EXPECT_EQ(pool.pending_bytes(), 2 * tx.size_bytes());
+    (void)pool.pack_block();
+    EXPECT_EQ(pool.pending_bytes(), 0U);
+}
+
+TEST(Mempool, BlocksToDrainMatchesActualPacking) {
+    const std::size_t tx_bytes = payload_tx(0, 200).size_bytes();
+    ch::Mempool pool(tx_bytes * 2 + 1);
+    for (std::uint32_t i = 0; i < 9; ++i) pool.add(payload_tx(i, 200));
+    const std::size_t estimate = pool.blocks_to_drain();
+    std::size_t actual = 0;
+    while (!pool.empty()) {
+        (void)pool.pack_block();
+        ++actual;
+    }
+    EXPECT_EQ(estimate, actual);
+    EXPECT_EQ(estimate, 5U);  // ceil(9 / 2)
+}
+
+TEST(Mempool, BlocksToDrainEmptyIsZero) {
+    ch::Mempool pool(100);
+    EXPECT_EQ(pool.blocks_to_drain(), 0U);
+}
+
+TEST(Mempool, ClearDropsEverything) {
+    ch::Mempool pool(100);
+    pool.add(payload_tx(0, 10));
+    pool.clear();
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(pool.pending_bytes(), 0U);
+}
+
+TEST(Mempool, AddAllKeepsOrder) {
+    ch::Mempool pool(1 << 20);
+    std::vector<ch::Transaction> batch{payload_tx(3, 8), payload_tx(1, 8),
+                                       payload_tx(2, 8)};
+    pool.add_all(batch);
+    const auto block = pool.pack_block();
+    ASSERT_EQ(block.size(), 3U);
+    EXPECT_EQ(block[0].origin, 3U);
+    EXPECT_EQ(block[1].origin, 1U);
+    EXPECT_EQ(block[2].origin, 2U);
+}
+
+}  // namespace

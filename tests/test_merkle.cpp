@@ -1,0 +1,73 @@
+// Merkle trees: roots, proofs, and tamper detection.
+
+#include <gtest/gtest.h>
+
+#include "chain/merkle.hpp"
+
+namespace {
+
+namespace ch = fairbfl::chain;
+using fairbfl::crypto::Digest;
+using fairbfl::crypto::Sha256;
+
+std::vector<Digest> make_leaves(std::size_t n) {
+    std::vector<Digest> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+    return leaves;
+}
+
+TEST(Merkle, EmptySetHasSentinelRoot) {
+    EXPECT_EQ(ch::merkle_root({}), Sha256::hash(std::string_view{}));
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+    const auto leaves = make_leaves(1);
+    EXPECT_EQ(ch::merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+    auto leaves = make_leaves(4);
+    const Digest original = ch::merkle_root(leaves);
+    std::swap(leaves[0], leaves[1]);
+    EXPECT_NE(ch::merkle_root(leaves), original);
+}
+
+TEST(Merkle, RootChangesWhenLeafChanges) {
+    auto leaves = make_leaves(5);
+    const Digest original = ch::merkle_root(leaves);
+    leaves[3] = Sha256::hash("tampered");
+    EXPECT_NE(ch::merkle_root(leaves), original);
+}
+
+TEST(Merkle, ProofOutOfRangeThrows) {
+    const auto leaves = make_leaves(3);
+    EXPECT_THROW((void)ch::merkle_proof(leaves, 3), std::out_of_range);
+}
+
+TEST(Merkle, ProofRejectsWrongLeaf) {
+    const auto leaves = make_leaves(8);
+    const Digest root = ch::merkle_root(leaves);
+    const auto proof = ch::merkle_proof(leaves, 2);
+    EXPECT_EQ(ch::merkle_apply(leaves[2], proof), root);
+    EXPECT_NE(ch::merkle_apply(leaves[3], proof), root);
+}
+
+// Every leaf of trees of several sizes (odd sizes exercise duplication).
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+    const auto leaves = make_leaves(GetParam());
+    const Digest root = ch::merkle_root(leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const auto proof = ch::merkle_proof(leaves, i);
+        EXPECT_EQ(ch::merkle_apply(leaves[i], proof), root)
+            << "leaf " << i << " of " << leaves.size();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Confusion matrix and derived metrics.
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "ml/synthetic_mnist.hpp"
+#include "support/vecmath.hpp"
+
+namespace {
+
+namespace ml = fairbfl::ml;
+
+TEST(ConfusionMatrix, HandComputedCounts) {
+    ml::ConfusionMatrix cm;
+    cm.num_classes = 3;
+    //          predicted: 0  1  2
+    cm.counts = {5, 1, 0,   // actual 0
+                 2, 6, 2,   // actual 1
+                 0, 0, 4};  // actual 2
+    EXPECT_EQ(cm.at(1, 0), 2U);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 15.0 / 20.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 5.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 6.0 / 10.0);
+    EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+    EXPECT_NEAR(cm.macro_recall(), (5.0 / 6.0 + 0.6 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyClassExcludedFromMacroRecall) {
+    ml::ConfusionMatrix cm;
+    cm.num_classes = 2;
+    cm.counts = {4, 0,
+                 0, 0};  // class 1 has no support
+    EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);  // only class 0 counted
+}
+
+TEST(ConfusionMatrix, AllZeroIsSafe) {
+    ml::ConfusionMatrix cm;
+    cm.num_classes = 2;
+    cm.counts = {0, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.macro_recall(), 0.0);
+}
+
+TEST(ConfusionMatrix, AgreesWithModelAccuracy) {
+    const auto data = ml::make_synthetic_mnist({.samples = 300,
+                                                .feature_dim = 8,
+                                                .num_classes = 4,
+                                                .seed = 5});
+    auto model = ml::make_logistic_regression(8, 4);
+    std::vector<float> params(model->param_count());
+    fairbfl::support::Rng rng(1);
+    model->init_params(params, rng);
+    const auto view = ml::DatasetView::all(data);
+
+    const auto cm = ml::confusion_matrix(*model, params, view);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), model->accuracy(params, view));
+    // Row sums equal per-class sample counts.
+    std::vector<std::size_t> support(4, 0);
+    for (std::size_t i = 0; i < view.size(); ++i)
+        ++support[static_cast<std::size_t>(view.label_of(i))];
+    for (std::size_t c = 0; c < 4; ++c) {
+        std::size_t row = 0;
+        for (std::size_t p = 0; p < 4; ++p) row += cm.at(c, p);
+        EXPECT_EQ(row, support[c]);
+    }
+}
+
+TEST(ConfusionMatrix, PerfectModelIsDiagonal) {
+    // Train to (near) perfection on an easy problem, expect diagonal mass.
+    const auto data = ml::make_synthetic_mnist({.samples = 200,
+                                                .feature_dim = 8,
+                                                .num_classes = 3,
+                                                .noise_sigma = 0.1,
+                                                .seed = 6});
+    auto model = ml::make_logistic_regression(8, 3);
+    std::vector<float> params(model->param_count(), 0.0F);
+    const auto view = ml::DatasetView::all(data);
+    std::vector<float> grad(params.size());
+    for (int i = 0; i < 300; ++i) {
+        fairbfl::support::fill(grad, 0.0F);
+        (void)model->loss_and_gradient(params, view, grad);
+        fairbfl::support::axpy(-0.5F, grad, params);
+    }
+    const auto cm = ml::confusion_matrix(*model, params, view);
+    EXPECT_GT(cm.accuracy(), 0.97);
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_GT(cm.recall(c), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Network delay sampling and the mining race (forks, winners, timing).
+
+#include <gtest/gtest.h>
+
+#include "chain/mining_race.hpp"
+#include "chain/network.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+namespace ch = fairbfl::chain;
+using fairbfl::support::Rng;
+using fairbfl::support::RunningStats;
+
+TEST(Network, UploadTimeGrowsWithPayload) {
+    ch::NetworkModel net;
+    Rng rng(1);
+    RunningStats small;
+    RunningStats large;
+    for (int i = 0; i < 2000; ++i) {
+        small.add(net.client_upload_seconds(1'000, rng));
+        large.add(net.client_upload_seconds(10'000'000, rng));
+    }
+    EXPECT_GT(large.mean(), small.mean() * 2);
+    EXPECT_GT(small.mean(), 0.0);
+}
+
+TEST(Network, MinerLinksFasterThanClientLinks) {
+    ch::NetworkModel net;
+    Rng rng(2);
+    RunningStats client;
+    RunningStats miner;
+    for (int i = 0; i < 2000; ++i) {
+        client.add(net.client_upload_seconds(100'000, rng));
+        miner.add(net.miner_link_seconds(100'000, rng));
+    }
+    EXPECT_GT(client.mean(), miner.mean());
+}
+
+TEST(Network, SingleNodeExchangesAreFree) {
+    ch::NetworkModel net;
+    Rng rng(3);
+    EXPECT_EQ(net.exchange_seconds(1, 1000, rng), 0.0);
+    EXPECT_EQ(net.block_propagation_seconds(1, 1000, rng), 0.0);
+}
+
+TEST(Network, ExchangeGrowsWithMinerCount) {
+    // Max over more links stochastically dominates max over fewer.
+    ch::NetworkModel net;
+    Rng rng(4);
+    RunningStats few;
+    RunningStats many;
+    for (int i = 0; i < 2000; ++i) {
+        few.add(net.exchange_seconds(2, 50'000, rng));
+        many.add(net.exchange_seconds(10, 50'000, rng));
+    }
+    EXPECT_GT(many.mean(), few.mean());
+}
+
+TEST(Network, DisturbanceInflatesTail) {
+    ch::NetworkParams calm;
+    calm.disturbance_prob = 0.0;
+    ch::NetworkParams rough;
+    rough.disturbance_prob = 0.5;
+    rough.disturbance_penalty = 10.0;
+    Rng rng_calm(5);
+    Rng rng_rough(5);
+    RunningStats calm_stats;
+    RunningStats rough_stats;
+    for (int i = 0; i < 3000; ++i) {
+        calm_stats.add(
+            ch::NetworkModel(calm).client_upload_seconds(1000, rng_calm));
+        rough_stats.add(
+            ch::NetworkModel(rough).client_upload_seconds(1000, rng_rough));
+    }
+    EXPECT_GT(rough_stats.mean(), calm_stats.mean() * 2);
+}
+
+TEST(Race, WinnerIsValidMiner) {
+    const auto miners = ch::uniform_miners(5, 1e6);
+    const ch::MiningRace race(miners, ch::NetworkModel{}, 1'000'000);
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        const auto outcome = race.run(1000, /*allow_forks=*/true, rng);
+        EXPECT_LT(outcome.winner, 5U);
+        EXPECT_GT(outcome.solve_seconds, 0.0);
+    }
+}
+
+TEST(Race, MoreMinersSolveFaster) {
+    // Min of m exponentials has mean (difficulty/hashrate)/m.
+    Rng rng2(7);
+    Rng rng8(8);
+    const ch::MiningRace race2(ch::uniform_miners(2, 1e6), ch::NetworkModel{},
+                               4'000'000);
+    const ch::MiningRace race8(ch::uniform_miners(8, 1e6), ch::NetworkModel{},
+                               4'000'000);
+    RunningStats t2;
+    RunningStats t8;
+    for (int i = 0; i < 4000; ++i) {
+        t2.add(race2.run(100, false, rng2).solve_seconds);
+        t8.add(race8.run(100, false, rng8).solve_seconds);
+    }
+    EXPECT_NEAR(t2.mean(), 2.0, 0.15);   // 4s per miner / 2
+    EXPECT_NEAR(t8.mean(), 0.5, 0.05);   // 4s per miner / 8
+}
+
+TEST(Race, NoForksWhenDisallowed) {
+    const ch::MiningRace race(ch::uniform_miners(10, 1e6), ch::NetworkModel{},
+                              100'000);
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const auto outcome = race.run(100'000, /*allow_forks=*/false, rng);
+        EXPECT_FALSE(outcome.forked);
+        EXPECT_EQ(outcome.fork_merge_seconds, 0.0);
+    }
+}
+
+TEST(Race, ForkRateGrowsWithMiners) {
+    // Propagation is a relay chain, so the fork window widens with the
+    // miner count; with per-miner rates held fixed the wide fleet forks
+    // far more often.
+    ch::NetworkParams net;
+    net.miner_bandwidth_Bps = 1e6;  // 1 s per 1 MB block hop
+    std::size_t forks2 = 0;
+    std::size_t forks10 = 0;
+    Rng rngA(10);
+    Rng rngB(11);
+    const ch::MiningRace race2(ch::uniform_miners(2, 1e6),
+                               ch::NetworkModel(net), 2'000'000);
+    const ch::MiningRace race10(ch::uniform_miners(10, 1e6),
+                                ch::NetworkModel(net), 2'000'000);
+    for (int i = 0; i < 500; ++i) {
+        if (race2.run(1'000'000, true, rngA).forked) ++forks2;
+        if (race10.run(1'000'000, true, rngB).forked) ++forks10;
+    }
+    EXPECT_GT(forks10, forks2);
+    EXPECT_GT(forks10, 250U);  // should fork most of the time
+}
+
+TEST(Race, ForkMergeCostsTime) {
+    ch::NetworkParams slow_net;
+    slow_net.miner_bandwidth_Bps = 1e5;
+    const ch::MiningRace race(ch::uniform_miners(10, 1e6),
+                              ch::NetworkModel(slow_net), 2'000'000);
+    Rng rng(12);
+    for (int i = 0; i < 300; ++i) {
+        const auto outcome = race.run(1'000'000, true, rng);
+        if (outcome.forked) {
+            EXPECT_GE(outcome.fork_width, 2U);
+            EXPECT_GT(outcome.fork_merge_seconds, 0.0);
+            EXPECT_GT(outcome.total_seconds(),
+                      outcome.solve_seconds + outcome.propagation_seconds);
+            return;  // saw at least one fork with cost: pass
+        }
+    }
+    FAIL() << "no fork observed in 300 races";
+}
+
+TEST(Race, EmptyFleetIsInert) {
+    const ch::MiningRace race({}, ch::NetworkModel{}, 1000);
+    Rng rng(13);
+    const auto outcome = race.run(100, true, rng);
+    EXPECT_EQ(outcome.total_seconds(), 0.0);
+}
+
+}  // namespace

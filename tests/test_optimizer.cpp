@@ -1,0 +1,151 @@
+// SGD local solver (Eq. 3), proximal variant, decreasing-step schedule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/optimizer.hpp"
+#include "ml/synthetic_mnist.hpp"
+#include "support/vecmath.hpp"
+
+namespace {
+
+namespace ml = fairbfl::ml;
+using fairbfl::support::Rng;
+
+struct Fixture {
+    ml::Dataset data = ml::make_synthetic_mnist({.samples = 200,
+                                                 .feature_dim = 6,
+                                                 .num_classes = 3,
+                                                 .noise_sigma = 0.2,
+                                                 .seed = 31});
+    std::unique_ptr<ml::Model> model =
+        ml::make_logistic_regression(6, 3, 1e-4);
+
+    std::vector<float> init_params(std::uint64_t seed = 1) const {
+        std::vector<float> params(model->param_count());
+        Rng rng(seed);
+        model->init_params(params, rng);
+        return params;
+    }
+};
+
+TEST(Sgd, ReducesLoss) {
+    Fixture f;
+    auto params = f.init_params();
+    const auto view = ml::DatasetView::all(f.data);
+    const double before = f.model->loss(params, view);
+    ml::SgdParams sgd;
+    sgd.learning_rate = 0.1;
+    sgd.epochs = 5;
+    sgd.batch_size = 10;
+    Rng rng(2);
+    const auto result = sgd_train(*f.model, params, view, sgd, rng);
+    EXPECT_GT(result.steps_taken, 0U);
+    EXPECT_LT(f.model->loss(params, view), before);
+}
+
+TEST(Sgd, StepCountMatchesEpochsTimesBatches) {
+    Fixture f;
+    auto params = f.init_params();
+    const auto view = ml::DatasetView::all(f.data).take(45);
+    ml::SgdParams sgd;
+    sgd.epochs = 3;
+    sgd.batch_size = 10;  // ceil(45/10) = 5 batches
+    Rng rng(3);
+    const auto result = sgd_train(*f.model, params, view, sgd, rng);
+    EXPECT_EQ(result.steps_taken, 15U);
+}
+
+TEST(Sgd, EmptyShardIsNoop) {
+    Fixture f;
+    auto params = f.init_params();
+    const auto before = params;
+    const ml::DatasetView empty(f.data, {});
+    ml::SgdParams sgd;
+    Rng rng(4);
+    const auto result = sgd_train(*f.model, params, empty, sgd, rng);
+    EXPECT_EQ(result.steps_taken, 0U);
+    EXPECT_EQ(params, before);
+}
+
+TEST(Sgd, DeterministicGivenSameRngState) {
+    Fixture f;
+    auto pa = f.init_params();
+    auto pb = f.init_params();
+    const auto view = ml::DatasetView::all(f.data);
+    ml::SgdParams sgd;
+    Rng ra(5);
+    Rng rb(5);
+    (void)sgd_train(*f.model, pa, view, sgd, ra);
+    (void)sgd_train(*f.model, pb, view, sgd, rb);
+    EXPECT_EQ(pa, pb);
+}
+
+TEST(Sgd, ProximalTermAnchorsToGlobal) {
+    // With a huge prox coefficient the weights barely move from the anchor.
+    Fixture f;
+    const auto anchor = f.init_params();
+    const auto view = ml::DatasetView::all(f.data);
+
+    auto free_params = anchor;
+    auto prox_params = anchor;
+    ml::SgdParams sgd;
+    sgd.learning_rate = 0.05;
+    sgd.epochs = 3;
+    {
+        Rng rng(6);
+        (void)sgd_train(*f.model, free_params, view, sgd, rng);
+    }
+    // eta * prox_mu must stay < 1 for the proximal pull to contract.
+    sgd.prox_mu = 10.0;
+    {
+        Rng rng(6);
+        (void)sgd_train(*f.model, prox_params, view, sgd, rng, anchor);
+    }
+    std::vector<float> diff_free(anchor.size());
+    std::vector<float> diff_prox(anchor.size());
+    for (std::size_t i = 0; i < anchor.size(); ++i) {
+        diff_free[i] = free_params[i] - anchor[i];
+        diff_prox[i] = prox_params[i] - anchor[i];
+    }
+    EXPECT_LT(fairbfl::support::norm2(diff_prox),
+              0.3 * fairbfl::support::norm2(diff_free));
+}
+
+TEST(Sgd, ProxIgnoredWithoutAnchor) {
+    Fixture f;
+    auto pa = f.init_params();
+    auto pb = f.init_params();
+    const auto view = ml::DatasetView::all(f.data);
+    ml::SgdParams plain;
+    ml::SgdParams prox_no_anchor;
+    prox_no_anchor.prox_mu = 10.0;
+    Rng ra(7);
+    Rng rb(7);
+    (void)sgd_train(*f.model, pa, view, plain, ra);
+    (void)sgd_train(*f.model, pb, view, prox_no_anchor, rb);
+    EXPECT_EQ(pa, pb);
+}
+
+TEST(Schedule, GammaAndRateFollowTheorem) {
+    // eta_r = 2 / (mu (gamma + r)), gamma = max(8L/mu, E).
+    ml::DecreasingStepSchedule schedule{.mu = 0.5, .L = 4.0, .E = 5};
+    EXPECT_DOUBLE_EQ(schedule.gamma(), 64.0);  // 8*4/0.5 = 64 > E
+    EXPECT_DOUBLE_EQ(schedule.rate_at(0), 2.0 / (0.5 * 64.0));
+    EXPECT_DOUBLE_EQ(schedule.rate_at(36), 2.0 / (0.5 * 100.0));
+
+    ml::DecreasingStepSchedule small{.mu = 10.0, .L = 1.0, .E = 5};
+    EXPECT_DOUBLE_EQ(small.gamma(), 5.0);  // E dominates
+}
+
+TEST(Schedule, RateIsDecreasingAndSatisfiesEtaConstraint) {
+    // The proof needs eta_r <= 2 * eta_{r+E}.
+    ml::DecreasingStepSchedule schedule{.mu = 1.0, .L = 4.0, .E = 5};
+    for (std::size_t r = 0; r + 1 < 200; ++r) {
+        EXPECT_GT(schedule.rate_at(r), schedule.rate_at(r + 1));
+        EXPECT_LE(schedule.rate_at(r), 2.0 * schedule.rate_at(r + schedule.E));
+    }
+}
+
+}  // namespace

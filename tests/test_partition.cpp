@@ -1,0 +1,132 @@
+// Partitioners: exact coverage, shard balance, and skew ordering
+// (IID < Dirichlet < label shards).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "ml/partition.hpp"
+#include "ml/synthetic_mnist.hpp"
+
+namespace {
+
+namespace ml = fairbfl::ml;
+
+class PartitionSchemeTest
+    : public ::testing::TestWithParam<ml::PartitionScheme> {};
+
+TEST_P(PartitionSchemeTest, EverySampleAssignedExactlyOnce) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 1000, .seed = 5});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.scheme = GetParam();
+    params.num_clients = 20;
+    const auto shards = ml::partition(view, params);
+    ASSERT_EQ(shards.size(), 20U);
+
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (const auto& shard : shards) {
+        total += shard.size();
+        for (const auto idx : shard.indices()) {
+            EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+        }
+    }
+    EXPECT_EQ(total, 1000U);
+}
+
+TEST_P(PartitionSchemeTest, DeterministicInSeed) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 400, .seed = 5});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.scheme = GetParam();
+    params.num_clients = 10;
+    const auto a = ml::partition(view, params);
+    const auto b = ml::partition(view, params);
+    for (std::size_t c = 0; c < 10; ++c)
+        EXPECT_EQ(a[c].indices(), b[c].indices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PartitionSchemeTest,
+                         ::testing::Values(ml::PartitionScheme::kIid,
+                                           ml::PartitionScheme::kLabelShards,
+                                           ml::PartitionScheme::kDirichlet));
+
+TEST(Partition, IidShardsAreBalanced) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 1003, .seed = 6});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.scheme = ml::PartitionScheme::kIid;
+    params.num_clients = 10;
+    const auto shards = ml::partition(view, params);
+    for (const auto& shard : shards) {
+        EXPECT_GE(shard.size(), 100U);
+        EXPECT_LE(shard.size(), 101U);
+    }
+}
+
+TEST(Partition, LabelShardsLimitLabelDiversity) {
+    // With 2 shards per client, most clients see at most ~3 labels.
+    const auto ds = ml::make_synthetic_mnist({.samples = 5000, .seed = 7});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.scheme = ml::PartitionScheme::kLabelShards;
+    params.num_clients = 50;
+    params.shards_per_client = 2;
+    const auto shards = ml::partition(view, params);
+    std::size_t few_label_clients = 0;
+    for (const auto& shard : shards) {
+        std::set<std::int32_t> labels;
+        for (std::size_t i = 0; i < shard.size(); ++i)
+            labels.insert(shard.label_of(i));
+        if (labels.size() <= 3) ++few_label_clients;
+    }
+    EXPECT_GE(few_label_clients, 45U);
+}
+
+TEST(Partition, SkewOrderingAcrossSchemes) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 5000, .seed = 8});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.num_clients = 25;
+
+    params.scheme = ml::PartitionScheme::kIid;
+    const double iid_skew = ml::label_skew(ml::partition(view, params), 10);
+
+    params.scheme = ml::PartitionScheme::kLabelShards;
+    const double shard_skew = ml::label_skew(ml::partition(view, params), 10);
+
+    params.scheme = ml::PartitionScheme::kDirichlet;
+    params.dirichlet_alpha = 0.5;
+    const double dir_skew = ml::label_skew(ml::partition(view, params), 10);
+
+    EXPECT_LT(iid_skew, 0.25);
+    EXPECT_GT(shard_skew, 0.6);
+    EXPECT_GT(dir_skew, iid_skew);
+    EXPECT_LT(iid_skew, shard_skew);
+}
+
+TEST(Partition, DirichletAlphaControlsSkew) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 5000, .seed = 9});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.scheme = ml::PartitionScheme::kDirichlet;
+    params.num_clients = 25;
+
+    params.dirichlet_alpha = 100.0;  // near-IID
+    const double smooth = ml::label_skew(ml::partition(view, params), 10);
+    params.dirichlet_alpha = 0.1;    // heavily skewed
+    const double spiky = ml::label_skew(ml::partition(view, params), 10);
+    EXPECT_GT(spiky, smooth + 0.1);
+}
+
+TEST(Partition, ZeroClientsThrows) {
+    const auto ds = ml::make_synthetic_mnist({.samples = 100, .seed = 1});
+    const auto view = ml::DatasetView::all(ds);
+    ml::PartitionParams params;
+    params.num_clients = 0;
+    EXPECT_THROW((void)ml::partition(view, params), std::invalid_argument);
+}
+
+}  // namespace

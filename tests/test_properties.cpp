@@ -1,0 +1,338 @@
+// Randomized property suites: invariants that must hold for *every* input,
+// checked across many seeded random instances (parameterized by seed).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "chain/chain.hpp"
+#include "cluster/dbscan.hpp"
+#include "crypto/bigint.hpp"
+#include "fl/aggregation.hpp"
+#include "fl/gradient.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using fairbfl::support::Rng;
+namespace ch = fairbfl::chain;
+namespace cl = fairbfl::cluster;
+namespace fl = fairbfl::fl;
+using fairbfl::crypto::BigUint;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Serialization fuzz: random transactions and blocks must round-trip.
+
+ch::Transaction random_tx(Rng& rng) {
+    ch::Transaction tx;
+    tx.kind = static_cast<ch::TxKind>(rng.uniform_int(0, 3));
+    tx.origin = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    tx.round = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    tx.payload.resize(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    for (auto& b : tx.payload) b = static_cast<std::uint8_t>(rng() & 0xFF);
+    tx.signature.resize(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : tx.signature) b = static_cast<std::uint8_t>(rng() & 0xFF);
+    return tx;
+}
+
+TEST_P(SeededProperty, TransactionRoundTripAndSizeInvariant) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 40; ++i) {
+        const ch::Transaction tx = random_tx(rng);
+        const auto encoded = tx.encode();
+        EXPECT_EQ(encoded.size(), tx.size_bytes());
+        ch::ByteReader reader(encoded);
+        EXPECT_EQ(ch::Transaction::decode(reader), tx);
+        EXPECT_TRUE(reader.exhausted());
+    }
+}
+
+TEST_P(SeededProperty, BlockRoundTripAndMerkleDetectsAnyTamper) {
+    Rng rng(GetParam());
+    ch::Block block;
+    const auto tx_count = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t i = 0; i < tx_count; ++i)
+        block.transactions.push_back(random_tx(rng));
+    block.header.index = 3;
+    block.seal_transactions();
+
+    const auto encoded = block.encode();
+    ch::ByteReader reader(encoded);
+    EXPECT_EQ(ch::Block::decode(reader), block);
+
+    // Tamper with any single transaction byte: merkle consistency breaks.
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(tx_count) - 1));
+    if (!block.transactions[victim].payload.empty()) {
+        block.transactions[victim].payload[0] ^= 0x01;
+        EXPECT_FALSE(block.merkle_consistent());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blockchain fork torture: submit a random block-tree; the best chain must
+// be a longest root-to-leaf path and survive full validation.
+
+TEST_P(SeededProperty, RandomForkTreeResolvesToLongestPath) {
+    Rng rng(GetParam());
+    ch::Blockchain chain(5);
+    chain.set_check_pow(false);
+
+    // Grow a random tree: each new block picks a random known parent.
+    std::vector<ch::Block> known{chain.genesis()};
+    std::size_t deepest = 1;
+    for (int i = 0; i < 40; ++i) {
+        const auto parent_index = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(known.size()) - 1));
+        const ch::Block& parent = known[parent_index];
+        ch::Block child;
+        child.header.index = parent.header.index + 1;
+        child.header.prev_hash = parent.header.hash();
+        child.header.timestamp_ms = static_cast<std::uint64_t>(i) + 1;
+        child.seal_transactions();
+        const auto verdict = chain.submit(child);
+        EXPECT_TRUE(verdict == ch::BlockVerdict::kAccepted ||
+                    verdict == ch::BlockVerdict::kAcceptedSideBranch ||
+                    verdict == ch::BlockVerdict::kAcceptedReorg)
+            << ch::to_string(verdict);
+        known.push_back(child);
+        deepest = std::max(deepest,
+                           static_cast<std::size_t>(child.header.index) + 1);
+    }
+    EXPECT_EQ(chain.height(), deepest);  // longest-chain rule
+    EXPECT_EQ(chain.total_blocks_known(), known.size());
+    EXPECT_TRUE(chain.validate_full_chain());
+    // Parent links along the best chain are intact by construction of
+    // validate_full_chain; additionally indices must be 0..height-1.
+    for (std::size_t h = 0; h < chain.height(); ++h)
+        EXPECT_EQ(chain.at(h).header.index, h);
+}
+
+// ---------------------------------------------------------------------------
+// BigUint algebra.
+
+TEST_P(SeededProperty, BigUintRingAxioms) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 15; ++i) {
+        const auto bits_a =
+            static_cast<std::size_t>(rng.uniform_int(8, 192));
+        const auto bits_b =
+            static_cast<std::size_t>(rng.uniform_int(8, 192));
+        const BigUint a = BigUint::random_bits(bits_a, rng);
+        const BigUint b = BigUint::random_bits(bits_b, rng);
+        const BigUint c = BigUint::random_bits(32, rng);
+
+        EXPECT_EQ(a + b, b + a);                    // commutativity
+        EXPECT_EQ((a + b) - b, a);                  // additive inverse
+        EXPECT_EQ(a * b, b * a);                    // commutativity
+        EXPECT_EQ(a * (b + c), a * b + a * c);      // distributivity
+        const auto [q, r] = (a * b).divmod(b);
+        EXPECT_EQ(q, a);                            // exact division
+        EXPECT_TRUE(r.is_zero());
+    }
+}
+
+TEST_P(SeededProperty, ModExpExponentAdditionLaw) {
+    Rng rng(GetParam());
+    const BigUint modulus = BigUint::random_bits(64, rng) + BigUint(1);
+    for (int i = 0; i < 8; ++i) {
+        const BigUint base = BigUint::random_bits(32, rng);
+        const BigUint x = BigUint::random_bits(16, rng);
+        const BigUint y = BigUint::random_bits(16, rng);
+        // a^(x+y) == a^x * a^y (mod m)
+        const BigUint lhs = BigUint::mod_pow(base, x + y, modulus);
+        const BigUint rhs =
+            (BigUint::mod_pow(base, x, modulus) *
+             BigUint::mod_pow(base, y, modulus)) %
+            modulus;
+        EXPECT_EQ(lhs, rhs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GradientSet (Procedure III) semantics.
+
+fl::GradientUpdate random_update(Rng& rng, std::uint32_t max_client = 20) {
+    fl::GradientUpdate u;
+    u.client =
+        static_cast<fl::NodeId>(rng.uniform_int(0, max_client));
+    u.weights = {static_cast<float>(rng.normal()),
+                 static_cast<float>(rng.normal())};
+    u.num_samples = static_cast<std::size_t>(rng.uniform_int(1, 100));
+    return u;
+}
+
+TEST_P(SeededProperty, GradientSetMergeIsCommutativeAndIdempotent) {
+    Rng rng(GetParam());
+    fl::GradientSet a;
+    fl::GradientSet b;
+    for (int i = 0; i < 15; ++i) (void)a.add(random_update(rng));
+    for (int i = 0; i < 15; ++i) (void)b.add(random_update(rng));
+
+    fl::GradientSet ab = a;
+    (void)ab.merge(b);
+    fl::GradientSet ba = b;
+    (void)ba.merge(a);
+    ab.canonicalize();
+    ba.canonicalize();
+    // Same client set either way (payloads may differ for shared clients:
+    // first-writer-wins, which is exactly the paper's "append if absent").
+    ASSERT_EQ(ab.size(), ba.size());
+    for (std::size_t i = 0; i < ab.size(); ++i)
+        EXPECT_EQ(ab.updates()[i].client, ba.updates()[i].client);
+
+    // Idempotence: merging again adds nothing.
+    EXPECT_EQ(ab.merge(b), 0U);
+    EXPECT_EQ(ab.merge(a), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation rules.
+
+TEST_P(SeededProperty, AggregationPermutationInvariance) {
+    Rng rng(GetParam());
+    std::vector<fl::GradientUpdate> updates;
+    std::vector<double> theta;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        auto u = random_update(rng);
+        u.client = i;
+        updates.push_back(std::move(u));
+        theta.push_back(rng.uniform(0.1, 1.0));
+    }
+    const auto mean1 = fl::simple_average(updates);
+    const auto fair1 = fl::fair_aggregate(updates, theta);
+
+    // Shuffle both consistently.
+    std::vector<std::size_t> order(updates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(std::span<std::size_t>(order));
+    std::vector<fl::GradientUpdate> shuffled;
+    std::vector<double> shuffled_theta;
+    for (const auto i : order) {
+        shuffled.push_back(updates[i]);
+        shuffled_theta.push_back(theta[i]);
+    }
+    const auto mean2 = fl::simple_average(shuffled);
+    const auto fair2 = fl::fair_aggregate(shuffled, shuffled_theta);
+    for (std::size_t d = 0; d < mean1.size(); ++d) {
+        EXPECT_NEAR(mean1[d], mean2[d], 1e-5);
+        EXPECT_NEAR(fair1[d], fair2[d], 1e-5);
+    }
+}
+
+TEST_P(SeededProperty, AggregationConvexHullProperty) {
+    // Any normalized-weight aggregate lies inside the coordinate-wise
+    // min/max envelope of the inputs.
+    Rng rng(GetParam());
+    std::vector<fl::GradientUpdate> updates;
+    std::vector<double> weights;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        auto u = random_update(rng);
+        u.client = i;
+        updates.push_back(std::move(u));
+        weights.push_back(rng.uniform(0.01, 2.0));
+    }
+    const auto out = fl::weighted_aggregate(updates, weights);
+    for (std::size_t d = 0; d < out.size(); ++d) {
+        float lo = updates[0].weights[d];
+        float hi = lo;
+        for (const auto& u : updates) {
+            lo = std::min(lo, u.weights[d]);
+            hi = std::max(hi, u.weights[d]);
+        }
+        EXPECT_GE(out[d], lo - 1e-4F);
+        EXPECT_LE(out[d], hi + 1e-4F);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN structural invariants.
+
+TEST_P(SeededProperty, DbscanClustersContainACorePoint) {
+    Rng rng(GetParam());
+    std::vector<std::vector<float>> points;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(5, 40));
+    for (std::size_t i = 0; i < n; ++i) {
+        points.push_back({static_cast<float>(rng.normal()),
+                          static_cast<float>(rng.normal())});
+    }
+    const cl::DbscanParams params{.eps = 0.8,
+                                  .min_pts = 3,
+                                  .metric = cl::Metric::kEuclidean};
+    const cl::Dbscan dbscan(params);
+    const auto result = dbscan.cluster(points);
+
+    const cl::DistanceMatrix dist(params.metric, points);
+    auto neighbour_count = [&](std::size_t i) {
+        std::size_t count = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            if (dist.at(i, j) <= params.eps) ++count;
+        return count;
+    };
+
+    for (int cluster_id = 0; cluster_id < result.num_clusters; ++cluster_id) {
+        const auto members = result.members_of(cluster_id);
+        ASSERT_FALSE(members.empty());
+        bool has_core = false;
+        for (const auto m : members)
+            if (neighbour_count(m) >= params.min_pts) has_core = true;
+        EXPECT_TRUE(has_core) << "cluster " << cluster_id;
+        // Every member is within eps of some member (connectivity witness).
+        for (const auto m : members) {
+            bool near_member = members.size() == 1;
+            for (const auto other : members) {
+                if (other != m && dist.at(m, other) <= params.eps)
+                    near_member = true;
+            }
+            EXPECT_TRUE(near_member);
+        }
+    }
+
+    // Noise points are never cores.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (result.labels[i] == cl::ClusterResult::kNoise)
+            EXPECT_LT(neighbour_count(i), params.min_pts);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConvergenceDetector against a straightforward reference implementation.
+
+TEST_P(SeededProperty, ConvergenceMatchesReference) {
+    Rng rng(GetParam());
+    std::vector<double> series;
+    for (int i = 0; i < 60; ++i) {
+        // Mixture of jumps and plateaus.
+        series.push_back(rng.bernoulli(0.4) ? rng.uniform()
+                                            : 0.9 + 0.001 * rng.normal());
+    }
+
+    fairbfl::support::ConvergenceDetector detector(0.005, 5);
+    std::size_t detected = fairbfl::support::ConvergenceDetector::npos;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (detector.add(series[i]) &&
+            detected == fairbfl::support::ConvergenceDetector::npos)
+            detected = i;
+    }
+
+    // Reference: first index with 5 consecutive |delta| <= 0.005.
+    std::size_t reference = fairbfl::support::ConvergenceDetector::npos;
+    std::size_t streak = 0;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        streak = std::abs(series[i] - series[i - 1]) <= 0.005 ? streak + 1 : 0;
+        if (streak >= 5) {
+            reference = i;
+            break;
+        }
+    }
+    EXPECT_EQ(detected, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Determinism, distribution sanity, and stream independence of the RNG.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using fairbfl::support::Rng;
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(123);
+    Rng b(124);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b()) ++same;
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+    Rng a = Rng::fork(7, 3, 11);
+    Rng b = Rng::fork(7, 3, 11);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+    // Different (stream, round) pairs must give different sequences.
+    Rng a = Rng::fork(7, 3, 11);
+    Rng b = Rng::fork(7, 4, 11);
+    Rng c = Rng::fork(7, 3, 12);
+    int ab = 0;
+    int ac = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        if (va == b()) ++ab;
+        if (va == c()) ++ac;
+    }
+    EXPECT_LE(ab, 1);
+    EXPECT_LE(ac, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(1);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(2);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(4);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(7);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(8);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(std::span<int>(v));
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+    Rng rng(9);
+    const auto sample = rng.sample_indices(50, 10);
+    EXPECT_EQ(sample.size(), 10U);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10U);
+    for (const auto i : sample) EXPECT_LT(i, 50U);
+}
+
+TEST(Rng, SampleIndicesClampsOversizedRequest) {
+    Rng rng(10);
+    const auto sample = rng.sample_indices(5, 100);
+    EXPECT_EQ(sample.size(), 5U);
+}
+
+// Property sweep: uniform_int stays in range for many (lo, hi) pairs.
+class RngRangeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RngRangeTest, UniformIntInBounds) {
+    const auto [lo, hi] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(lo * 31 + hi));
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.uniform_int(lo, hi);
+        ASSERT_GE(v, lo);
+        ASSERT_LE(v, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngRangeTest,
+    ::testing::Values(std::pair{0, 1}, std::pair{0, 2}, std::pair{-10, 10},
+                      std::pair{100, 1000}, std::pair{-5, -1},
+                      std::pair{0, 1000000}));
+
+}  // namespace

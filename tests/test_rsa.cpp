@@ -1,0 +1,128 @@
+// RSA keygen / sign / verify / encrypt, including tamper rejection and a
+// parameterized key-size sweep.
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+
+namespace {
+
+namespace cr = fairbfl::crypto;
+using fairbfl::support::Rng;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+    return {s.begin(), s.end()};
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+    Rng rng(1);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("gradient update for round 7");
+    const auto signature = cr::sign_payload(keys.priv, payload);
+    EXPECT_TRUE(cr::verify_payload(keys.pub, payload, signature));
+}
+
+TEST(Rsa, TamperedPayloadRejected) {
+    Rng rng(2);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("honest gradient");
+    const auto signature = cr::sign_payload(keys.priv, payload);
+    auto forged = payload;
+    forged[0] ^= 1;
+    EXPECT_FALSE(cr::verify_payload(keys.pub, forged, signature));
+}
+
+TEST(Rsa, TamperedSignatureRejected) {
+    Rng rng(3);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("honest gradient");
+    auto signature = cr::sign_payload(keys.priv, payload);
+    signature[signature.size() / 2] ^= 0x40;
+    EXPECT_FALSE(cr::verify_payload(keys.pub, payload, signature));
+}
+
+TEST(Rsa, WrongKeyRejected) {
+    Rng rng(4);
+    const auto alice = cr::generate_keypair(512, rng);
+    const auto mallory = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("from alice");
+    const auto signature = cr::sign_payload(alice.priv, payload);
+    EXPECT_FALSE(cr::verify_payload(mallory.pub, payload, signature));
+}
+
+TEST(Rsa, WrongLengthSignatureRejected) {
+    Rng rng(5);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("x");
+    auto signature = cr::sign_payload(keys.priv, payload);
+    signature.pop_back();
+    EXPECT_FALSE(cr::verify_payload(keys.pub, payload, signature));
+    signature.push_back(0);
+    signature.push_back(0);
+    EXPECT_FALSE(cr::verify_payload(keys.pub, payload, signature));
+}
+
+TEST(Rsa, SignatureIsDeterministicPerKey) {
+    Rng rng(6);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto payload = bytes_of("same message");
+    EXPECT_EQ(cr::sign_payload(keys.priv, payload),
+              cr::sign_payload(keys.priv, payload));
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+    Rng rng(7);
+    const auto keys = cr::generate_keypair(512, rng);
+    const auto message = bytes_of("symmetric session key: 0123456789abcdef");
+    const auto ciphertext = cr::encrypt(keys.pub, message);
+    EXPECT_EQ(ciphertext.size(), keys.pub.modulus_bytes());
+    EXPECT_EQ(cr::decrypt(keys.priv, ciphertext), message);
+}
+
+TEST(Rsa, EncryptPreservesLeadingZeroBytes) {
+    Rng rng(8);
+    const auto keys = cr::generate_keypair(512, rng);
+    const std::vector<std::uint8_t> message{0x00, 0x00, 0x01, 0x02};
+    EXPECT_EQ(cr::decrypt(keys.priv, cr::encrypt(keys.pub, message)), message);
+}
+
+TEST(Rsa, EncryptRejectsOversizedMessage) {
+    Rng rng(9);
+    const auto keys = cr::generate_keypair(512, rng);
+    const std::vector<std::uint8_t> big(keys.pub.modulus_bytes(), 0xAB);
+    EXPECT_THROW((void)cr::encrypt(keys.pub, big), std::length_error);
+}
+
+TEST(Rsa, KeygenRejectsBadSizes) {
+    Rng rng(10);
+    EXPECT_THROW((void)cr::generate_keypair(64, rng), std::invalid_argument);
+    EXPECT_THROW((void)cr::generate_keypair(513, rng), std::invalid_argument);
+}
+
+TEST(Rsa, KeygenIsDeterministicInSeed) {
+    Rng a(42);
+    Rng b(42);
+    const auto ka = cr::generate_keypair(256, a);
+    const auto kb = cr::generate_keypair(256, b);
+    EXPECT_EQ(ka.pub.n, kb.pub.n);
+    EXPECT_EQ(ka.priv.d, kb.priv.d);
+}
+
+// Sweep key sizes: modulus width exact, sign/verify works end to end.
+class RsaKeySizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaKeySizeTest, RoundTripAtSize) {
+    const std::size_t bits = GetParam();
+    Rng rng(bits);
+    const auto keys = cr::generate_keypair(bits, rng);
+    EXPECT_EQ(keys.pub.n.bit_length(), bits);
+    const auto payload = bytes_of("sized payload");
+    const auto signature = cr::sign_payload(keys.priv, payload);
+    EXPECT_EQ(signature.size(), (bits + 7) / 8);
+    EXPECT_TRUE(cr::verify_payload(keys.pub, payload, signature));
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaKeySizeTest,
+                         ::testing::Values(384, 512, 768, 1024));
+
+}  // namespace

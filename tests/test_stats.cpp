@@ -1,0 +1,92 @@
+// RunningStats, percentile, moving average, and the paper's convergence rule.
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace {
+
+namespace st = fairbfl::support;
+
+TEST(RunningStats, MeanVarianceMinMax) {
+    st::RunningStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8U);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+    st::RunningStats stats;
+    stats.add(42.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Stats, MeanOfSpan) {
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(st::mean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(st::mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(st::percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(st::percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(st::percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, MovingAverageWarmsUp) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const auto ma = st::moving_average(xs, 2);
+    ASSERT_EQ(ma.size(), 4U);
+    EXPECT_DOUBLE_EQ(ma[0], 1.0);    // window not yet full
+    EXPECT_DOUBLE_EQ(ma[1], 1.5);
+    EXPECT_DOUBLE_EQ(ma[2], 2.5);
+    EXPECT_DOUBLE_EQ(ma[3], 3.5);
+}
+
+TEST(Convergence, FiresAfterFiveStableRounds) {
+    // Paper §5.2: change within 0.5% for 5 consecutive rounds (i.e. five
+    // consecutive round-over-round deltas below the tolerance).
+    st::ConvergenceDetector detector;
+    EXPECT_FALSE(detector.add(0.10));   // round 0: nothing to compare
+    EXPECT_FALSE(detector.add(0.50));   // round 1: big jump
+    EXPECT_FALSE(detector.add(0.902));  // round 2: big jump, streak resets
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(detector.add(0.902));  // 3..6
+    EXPECT_TRUE(detector.add(0.903));   // round 7: 5th stable delta
+    EXPECT_TRUE(detector.converged());
+    EXPECT_EQ(detector.converged_at(), 7U);
+}
+
+TEST(Convergence, ResetsOnLargeChange) {
+    st::ConvergenceDetector detector;
+    detector.add(0.5);
+    detector.add(0.5);
+    detector.add(0.5);
+    detector.add(0.6);  // breaks the streak
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(detector.add(0.6));
+    EXPECT_TRUE(detector.add(0.6));
+}
+
+TEST(Convergence, StickyOnceConverged) {
+    st::ConvergenceDetector detector;
+    for (int i = 0; i < 6; ++i) detector.add(0.9);
+    ASSERT_TRUE(detector.converged());
+    const auto round = detector.converged_at();
+    detector.add(0.1);  // later jumps do not un-converge
+    EXPECT_TRUE(detector.converged());
+    EXPECT_EQ(detector.converged_at(), round);
+}
+
+TEST(Convergence, CustomToleranceAndPatience) {
+    st::ConvergenceDetector detector(0.05, 2);
+    detector.add(1.00);
+    detector.add(1.04);
+    EXPECT_TRUE(detector.add(1.02));
+}
+
+}  // namespace

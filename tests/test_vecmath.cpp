@@ -1,0 +1,97 @@
+// Vector kernels: correctness and edge cases (zero vectors, clamping).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/vecmath.hpp"
+
+namespace {
+
+namespace vm = fairbfl::support;
+
+TEST(VecMath, Axpy) {
+    std::vector<float> x{1.0F, 2.0F, 3.0F};
+    std::vector<float> y{10.0F, 20.0F, 30.0F};
+    vm::axpy(2.0F, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12.0F);
+    EXPECT_FLOAT_EQ(y[1], 24.0F);
+    EXPECT_FLOAT_EQ(y[2], 36.0F);
+}
+
+TEST(VecMath, ScaleAndFill) {
+    std::vector<float> x{1.0F, -2.0F, 4.0F};
+    vm::scale(x, 0.5F);
+    EXPECT_FLOAT_EQ(x[1], -1.0F);
+    vm::fill(x, 7.0F);
+    for (const float v : x) EXPECT_FLOAT_EQ(v, 7.0F);
+}
+
+TEST(VecMath, DotAndNorm) {
+    std::vector<float> x{3.0F, 4.0F};
+    EXPECT_DOUBLE_EQ(vm::dot(x, x), 25.0);
+    EXPECT_DOUBLE_EQ(vm::norm2(x), 5.0);
+}
+
+TEST(VecMath, SquaredDistance) {
+    std::vector<float> x{1.0F, 1.0F};
+    std::vector<float> y{4.0F, 5.0F};
+    EXPECT_DOUBLE_EQ(vm::squared_distance(x, y), 25.0);
+}
+
+TEST(VecMath, CosineDistanceIdenticalIsZero) {
+    std::vector<float> x{1.0F, 2.0F, 3.0F};
+    EXPECT_NEAR(vm::cosine_distance(x, x), 0.0, 1e-12);
+}
+
+TEST(VecMath, CosineDistanceOppositeIsTwo) {
+    std::vector<float> x{1.0F, 0.0F};
+    std::vector<float> y{-1.0F, 0.0F};
+    EXPECT_NEAR(vm::cosine_distance(x, y), 2.0, 1e-12);
+}
+
+TEST(VecMath, CosineDistanceOrthogonalIsOne) {
+    std::vector<float> x{1.0F, 0.0F};
+    std::vector<float> y{0.0F, 5.0F};
+    EXPECT_NEAR(vm::cosine_distance(x, y), 1.0, 1e-12);
+}
+
+TEST(VecMath, CosineDistanceScaleInvariant) {
+    std::vector<float> x{1.0F, 2.0F, -1.0F};
+    std::vector<float> y{2.0F, 4.0F, -2.0F};
+    EXPECT_NEAR(vm::cosine_distance(x, y), 0.0, 1e-6);
+}
+
+TEST(VecMath, CosineDistanceZeroVectorIsMax) {
+    std::vector<float> x{0.0F, 0.0F};
+    std::vector<float> y{1.0F, 2.0F};
+    EXPECT_DOUBLE_EQ(vm::cosine_distance(x, y), 1.0);
+    EXPECT_DOUBLE_EQ(vm::cosine_distance(y, x), 1.0);
+}
+
+TEST(VecMath, WeightedSum) {
+    std::vector<std::vector<float>> rows{{1.0F, 0.0F}, {0.0F, 1.0F}};
+    std::vector<double> weights{0.25, 0.75};
+    std::vector<float> out(2);
+    vm::weighted_sum(rows, weights, out);
+    EXPECT_FLOAT_EQ(out[0], 0.25F);
+    EXPECT_FLOAT_EQ(out[1], 0.75F);
+}
+
+TEST(VecMath, MeanOf) {
+    std::vector<std::vector<float>> rows{{2.0F, 4.0F}, {4.0F, 8.0F}};
+    std::vector<float> out(2);
+    vm::mean_of(rows, out);
+    EXPECT_FLOAT_EQ(out[0], 3.0F);
+    EXPECT_FLOAT_EQ(out[1], 6.0F);
+}
+
+TEST(VecMath, MeanOfEmptyIsZero) {
+    std::vector<std::vector<float>> rows;
+    std::vector<float> out(3, 9.0F);
+    vm::mean_of(rows, out);
+    for (const float v : out) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+}  // namespace
