@@ -14,6 +14,9 @@ using namespace fairbfl;
 
 namespace {
 
+// Each case is one ContributionPolicy configuration (clustering algorithm
+// x metric); detection rates come from per-round BflRoundRecords, so the
+// FairBfl class is driven directly.
 double run_case(bool iid, incentive::ClusteringChoice algo,
                 cluster::Metric metric, std::size_t rounds,
                 std::uint64_t seed) {

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 
@@ -127,6 +128,23 @@ struct BenchSetting {
         config.keep_partial_work = drop_percent >= 0.1;
         config.straggler_epoch_fraction = 0.2;
         return config;
+    }
+
+    // --- SystemSpec builders: the figure benches are run_suite sweeps over
+    // these (core/system.hpp).
+    [[nodiscard]] core::SystemSpec fair_spec(std::string label = "FAIR") const {
+        return core::fairbfl_spec(fair_config(), std::move(label));
+    }
+    [[nodiscard]] core::SystemSpec fedavg_spec() const {
+        return core::fedavg_spec(fl_config(), delay_params());
+    }
+    [[nodiscard]] core::SystemSpec fedprox_spec(
+        double drop_percent = 0.3) const {
+        return core::fedprox_spec(fedprox_config(drop_percent),
+                                  delay_params());
+    }
+    [[nodiscard]] core::SystemSpec blockchain_spec() const {
+        return core::blockchain_spec(blockchain_config());
     }
 };
 

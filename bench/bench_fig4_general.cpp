@@ -7,6 +7,8 @@
 //   ./bench/bench_fig4_general [--rounds=30] [--clients=100] [--miners=2]
 //                              [--paper] [--csv=prefix]
 
+#include <array>
+
 #include "bench_common.hpp"
 
 using namespace fairbfl;
@@ -28,14 +30,15 @@ int main(int argc, char** argv) {
 
     const core::Environment env =
         core::build_environment(setting.environment());
-    const core::DelayParams delay = setting.delay_params();
 
-    const auto fair = core::run_fairbfl(env, setting.fair_config(), "FAIR");
-    const auto fedavg = core::run_fedavg(env, setting.fl_config(), delay);
-    const auto fedprox =
-        core::run_fedprox(env, setting.fedprox_config(), delay);
-    const auto blockchain =
-        core::run_blockchain(setting.blockchain_config());
+    // One concurrent data-driven sweep over the four registered systems.
+    const std::array specs{setting.fair_spec("FAIR"), setting.fedavg_spec(),
+                           setting.fedprox_spec(), setting.blockchain_spec()};
+    const auto runs = core::run_suite(env, specs);
+    const auto& fair = runs[0];
+    const auto& fedavg = runs[1];
+    const auto& fedprox = runs[2];
+    const auto& blockchain = runs[3];
 
     // ---- Figure 4a: delay per round.
     std::printf("## Figure 4a: average delay per communication round\n");

@@ -35,8 +35,21 @@ int main(int argc, char** argv) {
     auto env_config = setting.environment();
     env_config.data.feature_scale = feature_scale;
     const core::Environment env = core::build_environment(env_config);
-    const core::DelayParams delay = setting.delay_params();
     const std::vector<double> rates{0.01, 0.05, 0.10, 0.15, 0.20};
+
+    // The whole sweep as one spec list: 5 rates x 3 systems, executed
+    // concurrently by run_suite.
+    std::vector<core::SystemSpec> specs;
+    for (const double eta : rates) {
+        auto local = setting;
+        local.learning_rate = eta;
+        specs.push_back(local.fair_spec("FAIR"));
+        specs.push_back(local.fedavg_spec());
+        // Pure proximal FedProx (no stragglers): the anchor term is what
+        // damps eta-sensitivity in Figure 5b.
+        specs.push_back(local.fedprox_spec(/*drop_percent=*/0.0));
+    }
+    const auto runs = core::run_suite(env, specs);
 
     std::printf("## Figure 5: delay and accuracy vs learning rate\n");
     support::CsvWriter csv(std::cout);
@@ -52,16 +65,11 @@ int main(int argc, char** argv) {
     };
     std::vector<Point> points;
 
-    for (const double eta : rates) {
-        auto local = setting;
-        local.learning_rate = eta;
-
-        const auto fair = core::run_fairbfl(env, local.fair_config(), "FAIR");
-        const auto fedavg = core::run_fedavg(env, local.fl_config(), delay);
-        // Pure proximal FedProx (no stragglers): the anchor term is what
-        // damps eta-sensitivity in Figure 5b.
-        const auto fedprox =
-            core::run_fedprox(env, local.fedprox_config(/*drop=*/0.0), delay);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const double eta = rates[i];
+        const auto& fair = runs[3 * i];
+        const auto& fedavg = runs[3 * i + 1];
+        const auto& fedprox = runs[3 * i + 2];
 
         for (const auto* run : {&fair, &fedavg, &fedprox}) {
             csv.row()

@@ -7,6 +7,7 @@
 //
 //   ./bench/bench_fig6_scalability [--rounds=15] [--paper] [--csv=prefix]
 
+#include <array>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -36,7 +37,6 @@ int main(int argc, char** argv) {
 
     std::vector<double> blockchain_by_n;
     std::vector<double> fair_by_n;
-    const core::DelayParams delay = setting.delay_params();
     for (const std::size_t n : {20UL, 40UL, 60UL, 80UL, 100UL, 120UL}) {
         auto local = setting;
         local.clients = n;
@@ -50,10 +50,12 @@ int main(int argc, char** argv) {
         const core::Environment env =
             core::build_environment(local.environment());
 
-        const auto fair = core::run_fairbfl(env, local.fair_config(), "FAIR");
-        const auto fedavg = core::run_fedavg(env, local.fl_config(), delay);
-        const auto blockchain =
-            core::run_blockchain(local.blockchain_config());
+        const std::array specs{local.fair_spec("FAIR"), local.fedavg_spec(),
+                               local.blockchain_spec()};
+        const auto runs = core::run_suite(env, specs);
+        const auto& fair = runs[0];
+        const auto& fedavg = runs[1];
+        const auto& blockchain = runs[2];
 
         csv6a.row()
             .col(n)
@@ -91,9 +93,11 @@ int main(int argc, char** argv) {
         core::build_environment(local.environment());
     for (const std::size_t m : {2UL, 4UL, 6UL, 8UL, 10UL}) {
         local.miners = m;
-        const auto fair = core::run_fairbfl(env, local.fair_config(), "FAIR");
-        const auto blockchain =
-            core::run_blockchain(local.blockchain_config());
+        const std::array specs{local.fair_spec("FAIR"),
+                               local.blockchain_spec()};
+        const auto runs = core::run_suite(env, specs);
+        const auto& fair = runs[0];
+        const auto& blockchain = runs[1];
         csv6b.row()
             .col(m)
             .col(fair.average_delay)

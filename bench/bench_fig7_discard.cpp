@@ -8,6 +8,8 @@
 //
 //   ./bench/bench_fig7_discard [--rounds=30] [--paper] [--csv=prefix]
 
+#include <array>
+
 #include "bench_common.hpp"
 
 using namespace fairbfl;
@@ -39,7 +41,6 @@ int main(int argc, char** argv) {
     env_config.noisy_client_fraction = noisy_fraction;
     env_config.label_noise_prob = 1.0;
     const core::Environment env = core::build_environment(env_config);
-    const core::DelayParams delay = setting.delay_params();
 
     auto discard_config = setting.fair_config();
     discard_config.incentive.strategy =
@@ -50,13 +51,18 @@ int main(int argc, char** argv) {
     // (Euclidean, loose) keys on forged magnitudes instead.
     discard_config.incentive.dbscan.metric = cluster::Metric::kCosine;
     discard_config.incentive.adaptive_eps_scale = eps_scale_discard;
-    const auto fair_discard =
-        core::run_fairbfl(env, discard_config, "FAIR-Discard");
-    const auto fair = core::run_fairbfl(env, setting.fair_config(), "FAIR");
-    const auto fedavg = core::run_fedavg(env, setting.fl_config(), delay);
-    const auto fedprox_drop =
-        core::run_fedprox(env, setting.fedprox_config(/*drop=*/0.02), delay);
-    const auto blockchain = core::run_blockchain(setting.blockchain_config());
+
+    const std::array specs{
+        core::fairbfl_spec(discard_config, "FAIR-Discard"),
+        setting.fair_spec("FAIR"), setting.fedavg_spec(),
+        setting.fedprox_spec(/*drop_percent=*/0.02),
+        setting.blockchain_spec()};
+    const auto runs = core::run_suite(env, specs);
+    const auto& fair_discard = runs[0];
+    const auto& fair = runs[1];
+    const auto& fedavg = runs[2];
+    const auto& fedprox_drop = runs[3];
+    const auto& blockchain = runs[4];
 
     // ---- 7a: delay per round.
     std::printf("## Figure 7a: average delay per round\n");

@@ -6,6 +6,7 @@
 #include "chain/chain.hpp"
 #include "chain/mempool.hpp"
 #include "chain/pow.hpp"
+#include "core/strategies.hpp"
 
 namespace {
 
@@ -102,5 +103,23 @@ void BM_MempoolPack(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_MempoolPack)->Arg(100)->Arg(500);
+
+/// Pricing one round of block production through the ConsensusEngine
+/// strategy API: the synchronized race vs the forking ablation, across
+/// miner counts.
+void BM_ConsensusEnginePricing(benchmark::State& state) {
+    const core::DelayModel delays;
+    const auto sync_pow = core::make_consensus("sync_pow");
+    const auto async_pow = core::make_consensus("async_pow");
+    const auto miners = static_cast<std::size_t>(state.range(0));
+    fairbfl::support::Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sync_pow->mine(delays, miners, /*blocks=*/1, 4096, rng));
+        benchmark::DoNotOptimize(
+            async_pow->mine(delays, miners, /*blocks=*/1, 4096, rng));
+    }
+}
+BENCHMARK(BM_ConsensusEnginePricing)->Arg(2)->Arg(10);
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/strategies.hpp"
 #include "fl/aggregation.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/synthetic_mnist.hpp"
@@ -96,5 +97,25 @@ void BM_Aggregation(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Aggregation)->Arg(10)->Arg(100);
+
+/// The robust rules of the Aggregator strategy API: per-coordinate sorting
+/// (trimmed mean) vs selection (median) over a round's update set -- the
+/// T_gl cost of swapping line 24 for a Byzantine-robust combine.
+void BM_RobustAggregators(benchmark::State& state) {
+    std::vector<fl::GradientUpdate> updates(
+        static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+        updates[i].client = static_cast<fl::NodeId>(i);
+        updates[i].weights.assign(650, static_cast<float>(i));
+        updates[i].num_samples = 60;
+    }
+    const auto trimmed = core::make_aggregator("trimmed_mean", 0.1);
+    const auto median = core::make_aggregator("median");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trimmed->aggregate(updates));
+        benchmark::DoNotOptimize(median->aggregate(updates));
+    }
+}
+BENCHMARK(BM_RobustAggregators)->Arg(10)->Arg(100);
 
 }  // namespace

@@ -7,9 +7,11 @@
 #include <cstdio>
 
 #include "chain/consensus.hpp"
+#include "core/strategies.hpp"
 #include "support/cli.hpp"
 
 namespace ch = fairbfl::chain;
+namespace core = fairbfl::core;
 
 int main(int argc, char** argv) {
     fairbfl::support::CliArgs args(argc, argv);
@@ -84,5 +86,25 @@ int main(int argc, char** argv) {
                 "reorgs=%zu\n",
                 sim.replica(0).height(), sim.replica(0).orphaned_blocks(),
                 sim.replica(0).reorg_count());
+
+    // The same story, priced: the two ConsensusEngine strategies of
+    // core/strategies.hpp charge this fork behaviour in simulated seconds.
+    const core::DelayModel delays;
+    fairbfl::support::Rng price_rng(7);
+    double sync_s = 0.0;
+    double async_s = 0.0;
+    std::size_t async_forks = 0;
+    const auto sync_pow = core::make_consensus("sync_pow");
+    const auto async_pow = core::make_consensus("async_pow");
+    for (std::size_t r = 0; r < rounds; ++r) {
+        sync_s += sync_pow->mine(delays, miners, 1, 4096, price_rng).seconds;
+        const auto mined =
+            async_pow->mine(delays, miners, 1, 4096, price_rng);
+        async_s += mined.seconds;
+        async_forks += mined.forks;
+    }
+    std::printf("\nengine pricing over %zu blocks, m=%zu: sync_pow %.1f s "
+                "(0 forks by construction), async_pow %.1f s (%zu forks)\n",
+                rounds, miners, sync_s, async_s, async_forks);
     return 0;
 }

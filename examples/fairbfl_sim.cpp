@@ -13,8 +13,7 @@
 #include <iostream>
 
 #include "chain/storage.hpp"
-#include "core/experiment.hpp"
-#include "core/vanilla_bfl.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 
@@ -40,6 +39,13 @@ core::AttackKind parse_attack(const std::string& name) {
     return core::AttackKind::kNone;
 }
 
+/// Historic CLI aliases for registry keys.
+std::string registry_key(const std::string& system) {
+    if (system == "fair") return "fairbfl";
+    if (system == "vanilla") return "vanilla_bfl";
+    return system;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,13 +53,16 @@ int main(int argc, char** argv) {
     if (args.help_requested()) {
         std::puts(
             "fairbfl_sim: run one BFL/FL system and print the round series\n"
-            "  --system=fair|vanilla|fedavg|fedprox|blockchain (default fair)\n"
+            "  --system=fair|vanilla|fedavg|fedprox|blockchain (default\n"
+            "           fair); any name in SystemRegistry::global() works\n"
             "  --clients=N --miners=N --rounds=N --seed=N\n"
             "  --eta=F --ratio=F --epochs=N --batch=N\n"
             "  --samples=N --dim=N --partition=iid|shards|dirichlet\n"
             "  --model=logistic|mlp --hidden=N\n"
             "  --discard            discard low-contribution clients\n"
             "  --kmeans             cluster with k-means instead of DBSCAN\n"
+            "  --aggregator=NAME    combine rule (simple|sample_weighted|\n"
+            "                       fair|trimmed_mean|median)\n"
             "  --attack=none|signflip|gaussian|scale --attackers=N\n"
             "  --encrypt --keybits=N   sign (and encrypt) uploads\n"
             "  --prox-mu=F --drop=F    (fedprox)\n"
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
 
     const bool discard = args.get_flag("discard");
     const bool kmeans = args.get_flag("kmeans");
+    const std::string aggregator = args.get_string("aggregator", "");
     const bool encrypt = args.get_flag("encrypt");
     const auto key_bits = static_cast<std::size_t>(
         args.get_int("keybits", encrypt ? 384 : 0));
@@ -110,73 +120,72 @@ int main(int argc, char** argv) {
     if (!args.finish("fairbfl_sim")) return 1;
 
     const core::Environment env = core::build_environment(env_config);
-    const core::DelayParams delay;
+
+    // One spec covers every system: the CLI name is a registry key, so any
+    // scenario registered with SystemRegistry::global() is reachable from
+    // this tool without code changes.
+    core::SystemSpec spec;
+    spec.system = registry_key(system);
+    spec.rounds = rounds;
+    spec.fl = fl_config;
+    spec.delay = core::DelayParams{};
+
+    spec.fair.fl = fl_config;
+    spec.fair.miners = miners;
+    spec.fair.attack = attack;
+    spec.fair.key_bits = key_bits;
+    spec.fair.encrypt_gradients = encrypt;
+    if (discard)
+        spec.fair.incentive.strategy =
+            incentive::LowContributionStrategy::kDiscard;
+    if (kmeans)
+        spec.fair.incentive.clustering = incentive::ClusteringChoice::kKMeans;
+    if (!aggregator.empty()) {
+        if (spec.system != "fairbfl" && spec.system != "fairbfl_discard" &&
+            spec.system != "pure_fl") {
+            std::fprintf(stderr,
+                         "--aggregator: system '%s' has no pluggable combine "
+                         "rule; the flag is ignored\n",
+                         spec.system.c_str());
+        }
+        try {
+            spec.fair.aggregator = core::make_aggregator(aggregator);
+        } catch (const std::invalid_argument& error) {
+            std::fprintf(stderr, "%s\n", error.what());
+            return 1;
+        }
+    }
+
+    spec.vanilla.fl = fl_config;
+    spec.vanilla.miners = miners;
+    spec.vanilla.attack = attack;
+    spec.vanilla.key_bits = key_bits;
+
+    spec.fedprox.base = fl_config;
+    spec.fedprox.prox_mu = prox_mu;
+    spec.fedprox.drop_percent = drop;
+
+    spec.blockchain.workers = clients;
+    spec.blockchain.miners = miners;
+    spec.blockchain.rounds = rounds;
+    spec.blockchain.seed = seed;
+
+    std::unique_ptr<core::System> runner;
+    try {
+        runner = core::SystemRegistry::global().make(env, spec);
+    } catch (const std::out_of_range& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
 
     support::CsvWriter csv(std::cout);
     if (!csv_path.empty() && !csv.tee_to_file(csv_path))
         std::fprintf(stderr, "warning: cannot write %s\n", csv_path.c_str());
     csv.header({"round", "delay_s", "elapsed_s", "accuracy"});
 
-    core::SystemRun run;
-    const chain::Blockchain* ledger = nullptr;
-
-    if (system == "fair") {
-        core::FairBflConfig config;
-        config.fl = fl_config;
-        config.miners = miners;
-        config.attack = attack;
-        config.key_bits = key_bits;
-        config.encrypt_gradients = encrypt;
-        if (discard)
-            config.incentive.strategy =
-                incentive::LowContributionStrategy::kDiscard;
-        if (kmeans)
-            config.incentive.clustering = incentive::ClusteringChoice::kKMeans;
-        static core::FairBfl fair(*env.model, env.make_clients(), env.test,
-                                  config);
-        run.name = "FAIR";
-        for (std::size_t r = 0; r < rounds; ++r) {
-            const auto record = fair.run_round();
-            run.series.push_back({record.fl.round, record.delay.total(), 0.0,
-                                  record.fl.test_accuracy});
-        }
-        ledger = &fair.blockchain();
-    } else if (system == "vanilla") {
-        core::VanillaBflConfig config;
-        config.fl = fl_config;
-        config.miners = miners;
-        config.attack = attack;
-        config.key_bits = key_bits;
-        static core::VanillaBfl vanilla(*env.model, env.make_clients(),
-                                        env.test, config);
-        run.name = "vanilla-BFL";
-        for (std::size_t r = 0; r < rounds; ++r) {
-            const auto record = vanilla.run_round();
-            run.series.push_back({record.fl.round, record.delay.total(), 0.0,
-                                  record.fl.test_accuracy});
-        }
-        ledger = &vanilla.blockchain();
-    } else if (system == "fedavg") {
-        run = core::run_fedavg(env, fl_config, delay);
-    } else if (system == "fedprox") {
-        fl::FedProxConfig config;
-        config.base = fl_config;
-        config.prox_mu = prox_mu;
-        config.drop_percent = drop;
-        run = core::run_fedprox(env, config, delay);
-    } else if (system == "blockchain") {
-        core::BlockchainBaselineConfig config;
-        config.workers = clients;
-        config.miners = miners;
-        config.rounds = rounds;
-        config.seed = seed;
-        run = core::run_blockchain(config);
-    } else {
-        std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
-        return 1;
-    }
-
-    run.finalize();
+    for (std::size_t r = 0; r < spec.rounds; ++r) (void)runner->run_round();
+    core::SystemRun run = runner->finalize();
+    const chain::Blockchain* ledger = runner->blockchain();
     for (const auto& point : run.series) {
         csv.row()
             .col(static_cast<std::size_t>(point.round))

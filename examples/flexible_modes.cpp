@@ -5,9 +5,10 @@
 //
 //   ./examples/flexible_modes [--rounds=10]
 
+#include <array>
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 
 namespace core = fairbfl::core;
@@ -38,23 +39,23 @@ int main(int argc, char** argv) {
     base.fl.seed = 7;
     base.miners = 2;
 
-    // Mode 1: full FAIR-BFL (all five procedures).
-    const auto fair = core::run_fairbfl(env, base, "FAIR-BFL");
-
-    // Mode 2: pure FL -- remove Procedure III (exchange) and V (mining).
-    auto fl_only = base;
-    fl_only.stage_exchange = false;
-    fl_only.stage_mining = false;
-    const auto pure_fl = core::run_fairbfl(env, fl_only, "pure-FL");
-
-    // Mode 3: pure blockchain -- remove Procedure I (learning) and IV
-    // (global updates); workers just submit payload transactions.
+    // The three modes are three registry entries over the same pipeline:
+    // "fairbfl" (all five procedures), "pure_fl" (Procedures III and V
+    // off), and "blockchain" (Procedures I and IV off) -- one run_suite
+    // call executes them concurrently.
     core::BlockchainBaselineConfig bc;
     bc.workers = 50;
     bc.miners = 2;
     bc.rounds = rounds;
     bc.seed = 7;
-    const auto pure_chain = core::run_blockchain(bc);
+
+    const std::array specs{core::fairbfl_spec(base, "FAIR-BFL"),
+                           core::pure_fl_spec(base, "pure-FL"),
+                           core::blockchain_spec(bc)};
+    const auto runs = core::run_suite(env, specs);
+    const auto& fair = runs[0];
+    const auto& pure_fl = runs[1];
+    const auto& pure_chain = runs[2];
 
     std::printf("%-10s %-12s %-14s %s\n", "mode", "avg delay(s)",
                 "final accuracy", "learns/ledgers");

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "chain/merkle.hpp"
-#include "core/experiment.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 
 namespace core = fairbfl::core;
@@ -44,11 +44,15 @@ int main(int argc, char** argv) {
     config.fl.seed = 11;
     config.incentive.reward_base = 10.0;  // 10 tokens per round
 
-    core::FairBfl system(*env.model, env.make_clients(), env.test, config);
-    (void)system.run();
+    // Build and run through the registry; the System interface exposes the
+    // chain and reward ledger this audit consumes.
+    const auto system =
+        core::SystemRegistry::global().make(env, core::fairbfl_spec(config));
+    for (std::size_t r = 0; r < rounds; ++r) (void)system->run_round();
 
     // --- Replay every reward transaction from the chain.
-    const auto& chain = system.blockchain();
+    const auto& chain = *system->blockchain();
+    const auto& reward_ledger = *system->reward_ledger();
     double replayed_total = 0.0;
     std::size_t reward_txs = 0;
     for (std::size_t h = 1; h < chain.height(); ++h) {
@@ -63,8 +67,8 @@ int main(int argc, char** argv) {
     std::printf("on-chain reward total: %.3f tokens\n", replayed_total);
     std::printf("ledger reward total:   %.3f tokens (match within "
                 "quantization: %s)\n",
-                system.ledger().grand_total(),
-                std::abs(replayed_total - system.ledger().grand_total()) < 0.05
+                reward_ledger.grand_total(),
+                std::abs(replayed_total - reward_ledger.grand_total()) < 0.05
                     ? "yes"
                     : "NO");
 
@@ -85,7 +89,7 @@ int main(int argc, char** argv) {
     // --- Leaderboard.
     std::printf("\nreward leaderboard (top 8):\n");
     std::printf("%-8s %-10s %s\n", "client", "samples", "total reward");
-    const auto board = system.ledger().leaderboard();
+    const auto board = reward_ledger.leaderboard();
     const auto clients = env.make_clients();
     for (std::size_t i = 0; i < board.size() && i < 8; ++i) {
         std::printf("%-8u %-10zu %.3f\n", board[i].first,

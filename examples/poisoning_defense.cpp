@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 
 namespace core = fairbfl::core;
@@ -93,16 +93,29 @@ int main(int argc, char** argv) {
     std::printf("\naverage detection rate: %.2f%%\n",
                 100.0 * mean_detection / static_cast<double>(rounds));
 
-    // Undefended comparison (keep-all aggregation under the same attack).
-    core::FairBfl undefended(*env.model, env.make_clients(), env.test,
-                             attack_config(rounds, attackers, false));
-    double undefended_acc = 0.0;
-    for (std::size_t r = 0; r < rounds; ++r)
-        undefended_acc = undefended.run_round().fl.test_accuracy;
+    // Undefended comparison (keep-all aggregation under the same attack),
+    // through the registry entry point.
+    const core::SystemRun undefended = core::run_system(
+        env,
+        core::fairbfl_spec(attack_config(rounds, attackers, false),
+                           "undefended"));
+
+    // Third option: skip Algorithm 2 entirely and make the combine rule
+    // itself robust -- the "trimmed_mean" Aggregator drops the extreme
+    // coordinate values the forged gradients live in.
+    auto robust_config = attack_config(rounds, attackers, false);
+    robust_config.enable_incentive = false;
+    robust_config.aggregator = core::make_aggregator("trimmed_mean", 0.2);
+    const core::SystemRun robust = core::run_system(
+        env, core::fairbfl_spec(robust_config, "trimmed-mean"));
 
     const double defended_acc =
         env.model->accuracy(defended.weights(), env.test);
-    std::printf("final accuracy with discard defense: %.4f\n", defended_acc);
-    std::printf("final accuracy without defense:      %.4f\n", undefended_acc);
+    std::printf("final accuracy with discard defense:      %.4f\n",
+                defended_acc);
+    std::printf("final accuracy without defense:           %.4f\n",
+                undefended.final_accuracy);
+    std::printf("final accuracy with trimmed-mean combine: %.4f\n",
+                robust.final_accuracy);
     return 0;
 }

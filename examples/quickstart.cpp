@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/system.hpp"
 #include "support/cli.hpp"
 
 namespace core = fairbfl::core;
@@ -74,5 +74,21 @@ int main(int argc, char** argv) {
         std::printf("  client %-4u total reward %.3f\n", board[i].first,
                     board[i].second);
     }
+
+    // 5. The same workload is one registry call -- and so is any other
+    //    registered system.  Compare against the pure-FL degradation
+    //    (Procedures III and V off) to see what the chain costs.
+    const core::SystemRun pure_fl =
+        core::run_system(env, core::pure_fl_spec(config));
+    std::printf("\nregistered systems:");
+    for (const auto& name : core::SystemRegistry::global().names())
+        std::printf(" %s", name.c_str());
+    std::printf("\npure-FL comparison: avg delay %.2f (FAIR-BFL) vs %.2f "
+                "s/round (pure FL) -- the chain's price; final accuracy "
+                "%.4f vs %.4f\n",
+                rounds > 0 ? elapsed / static_cast<double>(rounds) : 0.0,
+                pure_fl.average_delay,
+                env.model->accuracy(system.weights(), env.test),
+                pure_fl.final_accuracy);
     return 0;
 }

@@ -6,11 +6,13 @@
 // of Figures 4a, 6a and 6b.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "chain/chain.hpp"
 #include "chain/mempool.hpp"
 #include "core/delay_model.hpp"
+#include "core/strategies.hpp"
 #include "crypto/keystore.hpp"
 
 namespace fairbfl::core {
@@ -54,6 +56,8 @@ public:
 
 private:
     BlockchainBaselineConfig config_;
+    /// Vanilla discipline: concurrent mining, forks and idle waste priced.
+    std::shared_ptr<const ConsensusEngine> consensus_;
     crypto::KeyStore keys_;
     chain::Blockchain chain_;
     chain::Mempool mempool_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/system.hpp"
+
 namespace fairbfl::core {
 
 Environment build_environment(const EnvironmentConfig& config) {
@@ -61,6 +63,16 @@ Environment build_environment(const EnvironmentConfig& config) {
 }
 
 void SystemRun::finalize() {
+    // Reset every aggregate first: repeated calls must not leak state from
+    // a previous (possibly longer) series, and an empty series must leave
+    // well-defined zeros instead of dividing by a zero round count.
+    average_delay = 0.0;
+    average_accuracy = 0.0;
+    final_accuracy = 0.0;
+    converged_round = support::ConvergenceDetector::npos;
+    converged_elapsed_seconds = 0.0;
+    if (series.empty()) return;
+
     support::RunningStats delay_stats;
     support::RunningStats accuracy_stats;
     support::ConvergenceDetector convergence;
@@ -75,7 +87,7 @@ void SystemRun::finalize() {
     }
     average_delay = delay_stats.mean();
     average_accuracy = accuracy_stats.mean();
-    final_accuracy = series.empty() ? 0.0 : series.back().accuracy;
+    final_accuracy = series.back().accuracy;
     converged_round = convergence.converged_at();
 }
 
@@ -99,81 +111,28 @@ double fl_round_delay(const DelayModel& delays, const Environment& env,
     return delay;
 }
 
+// The deprecated free functions are shims over the registry API; the round
+// loops they used to hold live in core/system.cpp's built-in factories,
+// which reproduce them bit-for-bit.
+
 SystemRun run_fedavg(const Environment& env, const fl::FlConfig& config,
                      const DelayParams& delay) {
-    SystemRun run;
-    run.name = "FedAvg";
-    const DelayModel delays(delay);
-    fl::FedAvg trainer(*env.model, env.make_clients(), env.test, config);
-    run.series.reserve(config.rounds);
-    for (std::size_t r = 0; r < config.rounds; ++r) {
-        const fl::RoundRecord record = trainer.run_round();
-        SeriesPoint point;
-        point.round = record.round;
-        point.accuracy = record.test_accuracy;
-        point.delay_seconds =
-            fl_round_delay(delays, env, record.participant_ids, config.sgd,
-                           record.round, config.seed);
-        run.series.push_back(point);
-    }
-    run.finalize();
-    return run;
+    return run_system(env, fedavg_spec(config, delay));
 }
 
 SystemRun run_fedprox(const Environment& env, const fl::FedProxConfig& config,
                       const DelayParams& delay) {
-    SystemRun run;
-    run.name = "FedProx";
-    const DelayModel delays(delay);
-    fl::FedProx trainer(*env.model, env.make_clients(), env.test, config);
-    run.series.reserve(config.base.rounds);
-    for (std::size_t r = 0; r < config.base.rounds; ++r) {
-        const fl::RoundRecord record = trainer.run_round();
-        SeriesPoint point;
-        point.round = record.round;
-        point.accuracy = record.test_accuracy;
-        point.delay_seconds =
-            fl_round_delay(delays, env, record.participant_ids,
-                           config.base.sgd, record.round, config.base.seed);
-        run.series.push_back(point);
-    }
-    run.finalize();
-    return run;
+    return run_system(env, fedprox_spec(config, delay));
 }
 
 SystemRun run_fairbfl(const Environment& env, const FairBflConfig& config,
                       const std::string& label) {
-    SystemRun run;
-    run.name = label;
-    FairBfl system(*env.model, env.make_clients(), env.test, config);
-    run.series.reserve(config.fl.rounds);
-    for (std::size_t r = 0; r < config.fl.rounds; ++r) {
-        const BflRoundRecord record = system.run_round();
-        SeriesPoint point;
-        point.round = record.fl.round;
-        point.accuracy = record.fl.test_accuracy;
-        point.delay_seconds = record.delay.total();
-        run.series.push_back(point);
-    }
-    run.finalize();
-    return run;
+    return run_system(env, fairbfl_spec(config, label));
 }
 
 SystemRun run_blockchain(const BlockchainBaselineConfig& config) {
-    SystemRun run;
-    run.name = "Blockchain";
-    BlockchainBaseline system(config);
-    run.series.reserve(config.rounds);
-    for (std::size_t r = 0; r < config.rounds; ++r) {
-        const BlockchainRoundRecord record = system.run_round();
-        SeriesPoint point;
-        point.round = record.round;
-        point.accuracy = 0.0;  // a pure ledger learns nothing
-        point.delay_seconds = record.delay.total();
-        run.series.push_back(point);
-    }
-    run.finalize();
-    return run;
+    Environment none;  // the pure ledger never touches the environment
+    return run_system(none, blockchain_spec(config));
 }
 
 }  // namespace fairbfl::core

@@ -81,28 +81,38 @@ struct SystemRun {
     std::size_t converged_round = support::ConvergenceDetector::npos;
     double converged_elapsed_seconds = 0.0;
 
-    /// Computes the aggregate fields from `series`.
+    /// Computes the aggregate fields from `series`.  Idempotent (every
+    /// aggregate is recomputed from scratch) and safe on an empty series,
+    /// so callers like run_suite can invoke it defensively.
     void finalize();
 };
 
+// --- Deprecated entry points -----------------------------------------------
+// These free functions predate the SystemRegistry (core/system.hpp) and
+// survive as thin shims over run_system for one release.  New code should
+// build a SystemSpec ("fedavg", "fedprox", "fairbfl", "blockchain", ...)
+// and call run_system / run_suite instead.
+
 /// FedAvg under the shared delay model (delay = T_local + T_up + T_gl).
-[[nodiscard]] SystemRun run_fedavg(const Environment& env,
-                                   const fl::FlConfig& config,
-                                   const DelayParams& delay);
+[[nodiscard, deprecated("use run_system(env, fedavg_spec(config, delay))")]]
+SystemRun run_fedavg(const Environment& env, const fl::FlConfig& config,
+                     const DelayParams& delay);
 
 /// FedProx under the shared delay model.
-[[nodiscard]] SystemRun run_fedprox(const Environment& env,
-                                    const fl::FedProxConfig& config,
-                                    const DelayParams& delay);
+[[nodiscard, deprecated("use run_system(env, fedprox_spec(config, delay))")]]
+SystemRun run_fedprox(const Environment& env,
+                      const fl::FedProxConfig& config,
+                      const DelayParams& delay);
 
 /// FAIR-BFL (delays come from the orchestrator's own records).  `label`
 /// distinguishes variants ("FAIR", "FAIR-Discard", ablations).
-[[nodiscard]] SystemRun run_fairbfl(const Environment& env,
-                                    const FairBflConfig& config,
-                                    const std::string& label = "FAIR");
+[[nodiscard, deprecated("use run_system(env, fairbfl_spec(config, label))")]]
+SystemRun run_fairbfl(const Environment& env, const FairBflConfig& config,
+                      const std::string& label = "FAIR");
 
 /// Pure blockchain (no accuracy series).
-[[nodiscard]] SystemRun run_blockchain(const BlockchainBaselineConfig& config);
+[[nodiscard, deprecated("use run_system(env, blockchain_spec(config))")]]
+SystemRun run_blockchain(const BlockchainBaselineConfig& config);
 
 /// Delay of one FL round under the shared model (exposed for tests).
 [[nodiscard]] double fl_round_delay(const DelayModel& delays,

@@ -15,6 +15,18 @@ FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
       clients_(std::move(clients)),
       test_set_(std::move(test_set)),
       config_(config),
+      aggregator_(config.aggregator ? config.aggregator
+                                    : make_aggregator("simple")),
+      consensus_(make_consensus(
+          !config.consensus.empty()
+              ? std::string_view(config.consensus)
+              : (config.async_mining ? std::string_view("async_pow")
+                                     : std::string_view("sync_pow")))),
+      contribution_(config.contribution
+                        ? config.contribution
+                        : make_contribution_policy(config.incentive)),
+      reward_(config.reward ? config.reward
+                            : make_reward_policy(config.incentive.strategy)),
       keys_(config.fl.seed, config.key_bits),
       chain_(config.chain_id, config.key_bits != 0 ? &keys_ : nullptr),
       weights_(model.param_count(), 0.0F) {
@@ -152,26 +164,29 @@ BflRoundRecord FairBfl::run_round() {
         return record;
     }
 
-    // --- Procedure IV: provisional simple average (line 24), Algorithm 2
-    // (line 26), fair aggregation (line 27 / Eq. 1).
-    const std::vector<float> provisional = fl::simple_average(final_updates);
+    // --- Procedure IV: provisional combine (line 24), Algorithm 2
+    // (line 26), reward settlement (line 27 / Eq. 1) -- each stage behind
+    // its strategy object.
+    const std::vector<float> provisional =
+        aggregator_->aggregate(final_updates);
     std::size_t clustered_points = 0;
     if (config_.enable_incentive) {
         // Cluster on effective gradients: weights_ still holds w_r here.
         const incentive::ContributionReport report =
-            incentive::identify_contributions(final_updates, provisional,
-                                              config_.incentive, weights_);
+            contribution_->identify(final_updates, provisional, weights_);
         clustered_points = final_updates.size() + 1;
-        weights_ = incentive::apply_strategy(final_updates, report,
-                                             config_.incentive.strategy);
+        // An explicitly configured aggregator governs the settlement
+        // combine as well; the default keeps Eq. 1 exactly.
+        weights_ = reward_->settle(
+            final_updates, report,
+            config_.aggregator ? aggregator_.get() : nullptr);
         ledger_.record(round, report);
         record.round_reward_total = report.total_reward();
         record.low_contribution_clients = report.low_clients();
         record.detection_rate =
             detection_rate(record.attacker_clients,
                            record.low_contribution_clients);
-        if (config_.incentive.strategy ==
-            incentive::LowContributionStrategy::kDiscard) {
+        if (reward_->benches_low_contributors()) {
             for (const auto client : record.low_contribution_clients)
                 benched_clients_.push_back(client);
         }
@@ -220,21 +235,11 @@ BflRoundRecord FairBfl::run_round() {
             record.blocks_this_round = 1;
         }
 
-        if (config_.async_mining) {
-            std::size_t forks = 0;
-            record.delay.t_bl = delays.t_bl_vanilla(
-                config_.miners, record.blocks_this_round,
-                std::min(block_bytes, config_.delay.max_block_bytes),
-                bl_rng, &forks, nullptr);
-            record.forks_this_round = forks;
-        } else {
-            for (std::size_t b = 0; b < record.blocks_this_round; ++b) {
-                record.delay.t_bl += delays.t_bl_fair(
-                    config_.miners,
-                    std::min(block_bytes, config_.delay.max_block_bytes),
-                    bl_rng);
-            }
-        }
+        const MiningOutcome mined = consensus_->mine(
+            delays, config_.miners, record.blocks_this_round,
+            std::min(block_bytes, config_.delay.max_block_bytes), bl_rng);
+        record.delay.t_bl = mined.seconds;
+        record.forks_this_round = mined.forks;
 
         const chain::BlockVerdict verdict = chain_.submit(block);
         if (verdict != chain::BlockVerdict::kAccepted) {

@@ -17,13 +17,16 @@
 // `record_local_gradients` (violates Assumption 2 -> every local gradient
 // becomes a block transaction, re-introducing block-size queuing).
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "chain/chain.hpp"
 #include "chain/mempool.hpp"
 #include "core/attacker.hpp"
 #include "core/delay_model.hpp"
+#include "core/strategies.hpp"
 #include "fl/fedavg.hpp"
 #include "incentive/contribution.hpp"
 #include "incentive/reward.hpp"
@@ -54,6 +57,24 @@ struct FairBflConfig {
     bool async_mining = false;           ///< violate Assumption 1
     bool record_local_gradients = false; ///< violate Assumption 2
     std::uint64_t chain_id = 0x7A1B;
+
+    // --- Strategy overrides (core/strategies.hpp).  Null / empty fields
+    // fall back to the paper's defaults, so a default-constructed config
+    // reproduces Algorithm 1 exactly; setting one swaps that stage without
+    // touching the round loop.
+    /// Combine rule.  Null = the paper's combines exactly: "simple" for
+    /// the provisional update (line 24) and Eq. 1 for the settlement.
+    /// When set, the rule shapes the provisional *and* (via its weighted
+    /// form) the incentive settlement, so robust rules ("trimmed_mean",
+    /// "median") defend whether Algorithm 2 is on or off.
+    std::shared_ptr<const Aggregator> aggregator;
+    /// Consensus engine name ("sync_pow" / "async_pow").  Empty = derived
+    /// from the legacy `async_mining` bool.
+    std::string consensus;
+    /// Algorithm 2 replacement.  Null = clustering per `incentive`.
+    std::shared_ptr<const ContributionPolicy> contribution;
+    /// Low-contribution handling.  Null = from `incentive.strategy`.
+    std::shared_ptr<const RewardPolicy> reward;
 };
 
 /// Everything that happened in one FAIR-BFL communication round.
@@ -104,6 +125,11 @@ private:
     std::vector<fl::Client> clients_;
     ml::DatasetView test_set_;
     FairBflConfig config_;
+    /// Resolved strategy objects (config overrides or defaults).
+    std::shared_ptr<const Aggregator> aggregator_;
+    std::shared_ptr<const ConsensusEngine> consensus_;
+    std::shared_ptr<const ContributionPolicy> contribution_;
+    std::shared_ptr<const RewardPolicy> reward_;
     crypto::KeyStore keys_;
     chain::Blockchain chain_;
     incentive::RewardLedger ledger_;

@@ -1,0 +1,158 @@
+#pragma once
+// The unified orchestration API: every workload -- FedAvg, FedProx, the
+// FAIR-BFL variants, vanilla BFL, and the pure-blockchain baseline -- is a
+// `System` behind one round protocol, created from a string-keyed
+// `SystemRegistry` by a declarative `SystemSpec`.
+//
+//     Environment env = build_environment(env_config);
+//     SystemRun fair = run_system(env, fairbfl_spec(config, "FAIR"));
+//     std::vector<SystemRun> all = run_suite(env, specs);  // concurrent
+//
+// New scenarios register a factory instead of editing the round loop or
+// the bench binaries:
+//
+//     SystemRegistry::global().add("my_system",
+//         [](const Environment& env, const SystemSpec& spec) { ...; });
+//
+// The built-in factories reproduce the legacy run_fedavg / run_fedprox /
+// run_fairbfl / run_blockchain free functions bit-for-bit on the same
+// seed; those functions survive as deprecated shims over this API for one
+// release (see core/experiment.hpp).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/blockchain_baseline.hpp"
+#include "core/experiment.hpp"
+#include "core/fairbfl.hpp"
+#include "core/vanilla_bfl.hpp"
+#include "fl/fedprox.hpp"
+#include "support/parallel.hpp"
+
+namespace fairbfl::core {
+
+/// Declarative description of one run: which registered system, under
+/// which label, with which per-family configuration.  Each built-in
+/// factory reads exactly the fields its legacy entry point took; the
+/// unused families stay at their defaults.
+struct SystemSpec {
+    std::string system = "fairbfl";  ///< registry key
+    std::string label;               ///< run name; empty = factory default
+    /// Round-count override; 0 = the family config's own round count.
+    std::size_t rounds = 0;
+
+    fl::FlConfig fl;                     ///< "fedavg"
+    fl::FedProxConfig fedprox;           ///< "fedprox"
+    FairBflConfig fair;                  ///< "fairbfl" / "pure_fl" / ...
+    VanillaBflConfig vanilla;            ///< "vanilla_bfl"
+    BlockchainBaselineConfig blockchain; ///< "blockchain"
+    DelayParams delay;                   ///< delay model for fedavg/fedprox
+};
+
+/// Convenience constructors, one per built-in system.
+[[nodiscard]] SystemSpec fedavg_spec(const fl::FlConfig& config,
+                                     const DelayParams& delay,
+                                     std::string label = "");
+[[nodiscard]] SystemSpec fedprox_spec(const fl::FedProxConfig& config,
+                                      const DelayParams& delay,
+                                      std::string label = "");
+[[nodiscard]] SystemSpec fairbfl_spec(const FairBflConfig& config,
+                                      std::string label = "");
+/// FAIR-BFL degraded to pure FL (Procedures III and V off -- Figure 3).
+[[nodiscard]] SystemSpec pure_fl_spec(const FairBflConfig& config,
+                                      std::string label = "");
+/// FAIR-BFL with the discarding strategy (§5.3).
+[[nodiscard]] SystemSpec fairbfl_discard_spec(const FairBflConfig& config,
+                                              std::string label = "");
+[[nodiscard]] SystemSpec vanilla_bfl_spec(const VanillaBflConfig& config,
+                                          std::string label = "");
+[[nodiscard]] SystemSpec blockchain_spec(
+    const BlockchainBaselineConfig& config, std::string label = "");
+
+/// One system under the shared round protocol: call run_round() once per
+/// communication round, then finalize() for the aggregated SystemRun.
+/// finalize() is const and may be called at any point (and repeatedly);
+/// it summarizes the rounds executed so far.
+class System {
+public:
+    virtual ~System() = default;
+
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+    /// The round count the spec's configuration asks for.
+    [[nodiscard]] virtual std::size_t default_rounds() const noexcept = 0;
+
+    /// Executes one communication round and returns its series point.
+    virtual SeriesPoint run_round() = 0;
+
+    /// Aggregates everything run so far into a SystemRun (§5.2 metrics).
+    [[nodiscard]] virtual SystemRun finalize() const = 0;
+
+    /// The ledger this system maintains; null for chainless systems
+    /// (FedAvg, FedProx, pure FL).
+    [[nodiscard]] virtual const chain::Blockchain* blockchain()
+        const noexcept {
+        return nullptr;
+    }
+
+    /// The reward ledger, when the system pays contributions (FAIR-BFL
+    /// family only).
+    [[nodiscard]] virtual const incentive::RewardLedger* reward_ledger()
+        const noexcept {
+        return nullptr;
+    }
+};
+
+/// String-keyed factory table.  `global()` comes pre-loaded with the
+/// built-ins ("fedavg", "fedprox", "fairbfl", "fairbfl_discard",
+/// "pure_fl", "vanilla_bfl", "blockchain"); registrations are additive and
+/// thread-safe, so a bench or adopter can plug a scenario in at startup.
+class SystemRegistry {
+public:
+    using Factory = std::function<std::unique_ptr<System>(
+        const Environment&, const SystemSpec&)>;
+
+    /// Registers a factory.  Throws std::invalid_argument when `name` is
+    /// already taken, unless `replace` is set.
+    void add(std::string name, Factory factory, bool replace = false);
+
+    [[nodiscard]] bool contains(std::string_view name) const;
+    /// Registered names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Builds the system `spec.system` names.  Throws std::out_of_range
+    /// listing the known names when it is not registered.
+    [[nodiscard]] std::unique_ptr<System> make(const Environment& env,
+                                               const SystemSpec& spec) const;
+
+    /// The process-wide registry, built-ins pre-registered.
+    static SystemRegistry& global();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// Builds the spec's system, runs its rounds, and returns the finalized
+/// SystemRun -- the single entry point every bench and example goes
+/// through.
+[[nodiscard]] SystemRun run_system(
+    const Environment& env, const SystemSpec& spec,
+    const SystemRegistry& registry = SystemRegistry::global());
+
+/// Runs every spec against the shared environment, concurrently on the
+/// given pool, and returns the SystemRuns in spec order.  Deterministic:
+/// each system draws only from its own (seed, stream, round) Rng forks, so
+/// results are identical to running the specs serially.  The first
+/// exception (in spec order) is rethrown after all workers finish.
+[[nodiscard]] std::vector<SystemRun> run_suite(
+    const Environment& env, std::span<const SystemSpec> specs,
+    support::ThreadPool& pool = support::ThreadPool::global(),
+    const SystemRegistry& registry = SystemRegistry::global());
+
+}  // namespace fairbfl::core

@@ -18,12 +18,14 @@
 // stand-alone protocol, useful as an end-to-end baseline and as a
 // cross-check that the ablation prices the same behaviour.
 
+#include <memory>
 #include <vector>
 
 #include "chain/chain.hpp"
 #include "chain/mempool.hpp"
 #include "core/attacker.hpp"
 #include "core/delay_model.hpp"
+#include "core/strategies.hpp"
 #include "fl/fedavg.hpp"
 
 namespace fairbfl::core {
@@ -76,6 +78,8 @@ private:
     std::vector<fl::Client> clients_;
     ml::DatasetView test_set_;
     VanillaBflConfig config_;
+    /// Always the forking discipline: vanilla BFL has no Assumption 1.
+    std::shared_ptr<const ConsensusEngine> consensus_;
     crypto::KeyStore keys_;
     chain::Blockchain chain_;
     chain::Mempool mempool_;

@@ -162,28 +162,33 @@ std::vector<std::size_t> surviving_indices(std::size_t update_count,
     return report.high_indices;
 }
 
+SurvivorSelection select_survivors(
+    std::span<const fl::GradientUpdate> updates,
+    const ContributionReport& report, LowContributionStrategy strategy) {
+    const auto survivors =
+        surviving_indices(updates.size(), report, strategy);
+    SurvivorSelection selection;
+    selection.updates.reserve(survivors.size());
+    selection.theta.reserve(survivors.size());
+    for (const std::size_t i : survivors) {
+        selection.updates.push_back(updates[i]);
+        selection.theta.push_back(report.entries[i].theta);
+        selection.theta_sum += report.entries[i].theta;
+    }
+    return selection;
+}
+
 std::vector<float> apply_strategy(std::span<const fl::GradientUpdate> updates,
                                   const ContributionReport& report,
                                   LowContributionStrategy strategy) {
-    const auto survivors =
-        surviving_indices(updates.size(), report, strategy);
-
-    std::vector<fl::GradientUpdate> chosen;
-    std::vector<double> theta;
-    chosen.reserve(survivors.size());
-    theta.reserve(survivors.size());
-    double theta_sum = 0.0;
-    for (const std::size_t i : survivors) {
-        chosen.push_back(updates[i]);
-        theta.push_back(report.entries[i].theta);
-        theta_sum += report.entries[i].theta;
-    }
-    if (theta_sum <= 1e-12) {
+    const SurvivorSelection selection =
+        select_survivors(updates, report, strategy);
+    if (selection.degenerate()) {
         // Degenerate geometry: every surviving update coincides with the
         // global; Eq. 1 is undefined, use the simple average.
-        return fl::simple_average(chosen);
+        return fl::simple_average(selection.updates);
     }
-    return fl::fair_aggregate(chosen, theta);
+    return fl::fair_aggregate(selection.updates, selection.theta);
 }
 
 }  // namespace fairbfl::incentive

@@ -98,6 +98,30 @@ struct ContributionReport {
     const ContributionConfig& config,
     std::span<const float> reference = {});
 
+/// Below this theta sum the round's geometry is degenerate (every
+/// surviving update coincides with the global) and Eq. 1 is undefined.
+inline constexpr double kDegenerateThetaSum = 1e-12;
+
+/// The strategy's surviving updates paired with their theta weights --
+/// the shared selection step of apply_strategy and any custom combine
+/// (core::RewardPolicy implementations).
+struct SurvivorSelection {
+    std::vector<fl::GradientUpdate> updates;
+    std::vector<double> theta;
+    double theta_sum = 0.0;
+
+    /// True when theta carries no usable signal (see kDegenerateThetaSum).
+    [[nodiscard]] bool degenerate() const noexcept {
+        return theta_sum <= kDegenerateThetaSum;
+    }
+};
+
+/// Applies the strategy to pick the surviving updates and collects their
+/// theta scores.
+[[nodiscard]] SurvivorSelection select_survivors(
+    std::span<const fl::GradientUpdate> updates,
+    const ContributionReport& report, LowContributionStrategy strategy);
+
 /// Applies the configured strategy and Eq. 1:
 ///  * kKeepAll  -> fair-aggregate every update with theta weights;
 ///  * kDiscard  -> fair-aggregate the high-contribution updates only

@@ -8,8 +8,29 @@
 
 namespace fairbfl::support {
 
+namespace {
+/// Depth of pool tasks running on this thread.  Non-zero means a nested
+/// ThreadPool::run must degrade to inline execution: its workers may all
+/// be busy executing the outer run's body (possibly this very frame), so
+/// forking to them could never complete.  Deliberately process-wide, not
+/// per-pool: a task of pool A calling pool B's run() could otherwise
+/// deadlock through a cross-pool wait cycle (A's run_mutex held while B's
+/// tasks block on it), so any in-task run() goes inline.
+thread_local unsigned pool_task_depth = 0;
+
+/// Exception-safe ++/-- around a body invocation.
+struct PoolTaskScope {
+    PoolTaskScope() noexcept { ++pool_task_depth; }
+    ~PoolTaskScope() { --pool_task_depth; }
+    PoolTaskScope(const PoolTaskScope&) = delete;
+    PoolTaskScope& operator=(const PoolTaskScope&) = delete;
+};
+}  // namespace
+
 struct ThreadPool::Impl {
     std::mutex mutex;
+    /// Serializes whole fork/join cycles from concurrent external callers.
+    std::mutex run_mutex;
     std::condition_variable cv_work;
     std::condition_variable cv_done;
     const std::function<void(unsigned)>* job = nullptr;
@@ -33,6 +54,7 @@ struct ThreadPool::Impl {
                 my_job = job;
             }
             try {
+                const PoolTaskScope task_scope;
                 (*my_job)(index);
             } catch (...) {
                 std::lock_guard lock(mutex);
@@ -70,6 +92,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& body) {
+    if (pool_task_depth > 0) {
+        // Nested parallelism: the pool is (or may be) busy with the outer
+        // run that this thread is part of; execute inline.
+        body(0);
+        return;
+    }
+
+    std::lock_guard serialize(impl_->run_mutex);
     const unsigned helpers = n_threads_ - 1;
     if (helpers > 0) {
         std::lock_guard lock(impl_->mutex);
@@ -82,6 +112,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
 
     std::exception_ptr caller_error;
     try {
+        const PoolTaskScope task_scope;
         body(0);
     } catch (...) {
         caller_error = std::current_exception();

@@ -32,6 +32,18 @@ public:
     /// worker 0 when the pool has one thread), returning when all complete.
     /// Exceptions thrown by `body` are rethrown on the caller (first one
     /// wins).
+    ///
+    /// Safe under concurrency: calls from multiple threads serialize on an
+    /// internal mutex (core::run_suite workers may each fan out), and a
+    /// call made from inside a pool task -- nested parallelism -- degrades
+    /// to running the body inline on the caller instead of deadlocking on
+    /// its own busy workers.
+    ///
+    /// Contract: because of that inline degradation (which invokes
+    /// body(0) exactly once, and conservatively applies to a task of
+    /// *any* pool to rule out cross-pool deadlocks), bodies must be
+    /// index-agnostic -- pull work dynamically (as parallel_for does)
+    /// rather than statically partitioning by worker index.
     void run(const std::function<void(unsigned)>& body);
 
     /// Shared process-wide pool (lazily constructed).

@@ -1,9 +1,12 @@
 // Experiment harness: environment building, unified runs, metric math, and
 // the headline cross-system orderings (the shapes behind Figures 4a/4b).
+// Runs go through run_system (core/system.hpp); the deprecated free
+// functions are covered by the equivalence tests in test_system.cpp.
 
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "core/system.hpp"
 
 namespace {
 
@@ -76,9 +79,48 @@ TEST(SystemRun, ConvergenceDetected) {
     EXPECT_GT(run.converged_elapsed_seconds, 0.0);
 }
 
+TEST(SystemRun, FinalizeSafeOnEmptySeries) {
+    core::SystemRun run;
+    run.finalize();
+    EXPECT_EQ(run.average_delay, 0.0);
+    EXPECT_EQ(run.average_accuracy, 0.0);
+    EXPECT_EQ(run.final_accuracy, 0.0);
+    EXPECT_EQ(run.converged_round, fairbfl::support::ConvergenceDetector::npos);
+    EXPECT_EQ(run.converged_elapsed_seconds, 0.0);
+    run.finalize();  // twice on empty must be just as safe
+    EXPECT_EQ(run.average_delay, 0.0);
+}
+
+TEST(SystemRun, FinalizeIsIdempotent) {
+    core::SystemRun run;
+    for (std::uint64_t r = 0; r < 10; ++r)
+        run.series.push_back({r, 2.0, 0.0, r < 3 ? 0.1 * double(r) : 0.8});
+    run.finalize();
+    const core::SystemRun first = run;
+    run.finalize();  // run_suite calls finalize defensively
+    EXPECT_EQ(run.average_delay, first.average_delay);
+    EXPECT_EQ(run.average_accuracy, first.average_accuracy);
+    EXPECT_EQ(run.final_accuracy, first.final_accuracy);
+    EXPECT_EQ(run.converged_round, first.converged_round);
+    EXPECT_EQ(run.converged_elapsed_seconds, first.converged_elapsed_seconds);
+    for (std::size_t i = 0; i < run.series.size(); ++i)
+        EXPECT_EQ(run.series[i].elapsed_seconds,
+                  first.series[i].elapsed_seconds);
+}
+
+TEST(SystemRun, FinalizeRecomputesAfterSeriesShrinks) {
+    core::SystemRun run;
+    run.series = {{0, 2.0, 0.0, 0.9}, {1, 4.0, 0.0, 0.9}};
+    run.finalize();
+    run.series.clear();
+    run.finalize();  // stale aggregates must not survive
+    EXPECT_EQ(run.average_delay, 0.0);
+    EXPECT_EQ(run.final_accuracy, 0.0);
+}
+
 TEST(Harness, FedAvgRunProducesLearningSeries) {
     const auto env = core::build_environment(small_env());
-    const auto run = core::run_fedavg(env, small_fl(), core::DelayParams{});
+    const auto run = core::run_system(env, core::fedavg_spec(small_fl(), core::DelayParams{}));
     ASSERT_EQ(run.series.size(), 10U);
     EXPECT_GT(run.series.back().accuracy, run.series.front().accuracy);
     EXPECT_GT(run.average_delay, 0.0);
@@ -99,20 +141,20 @@ TEST(Harness, FairBflBetweenBlockchainAndFedAvgOnDelay) {
     fl_config.rounds = 12;
 
     const core::DelayParams delay;
-    const auto fedavg = core::run_fedavg(env, fl_config, delay);
+    const auto fedavg = core::run_system(env, core::fedavg_spec(fl_config, delay));
 
     core::FairBflConfig fair_config;
     fair_config.fl = fl_config;
     fair_config.miners = 2;
     fair_config.delay = delay;
-    const auto fair = core::run_fairbfl(env, fair_config);
+    const auto fair = core::run_system(env, core::fairbfl_spec(fair_config));
 
     core::BlockchainBaselineConfig bc_config;
     bc_config.workers = 100;
     bc_config.miners = 2;
     bc_config.rounds = 12;
     bc_config.delay = delay;
-    const auto blockchain = core::run_blockchain(bc_config);
+    const auto blockchain = core::run_system(env, core::blockchain_spec(bc_config));
 
     EXPECT_LT(fedavg.average_delay, fair.average_delay);
     EXPECT_LT(fair.average_delay, blockchain.average_delay);
@@ -122,10 +164,10 @@ TEST(Harness, FairBflAccuracyTracksFedAvg) {
     // Figure 4b: FAIR ~= FedAvg on accuracy.
     const auto env = core::build_environment(small_env());
     const auto fl_config = small_fl();
-    const auto fedavg = core::run_fedavg(env, fl_config, core::DelayParams{});
+    const auto fedavg = core::run_system(env, core::fedavg_spec(fl_config, core::DelayParams{}));
     core::FairBflConfig fair_config;
     fair_config.fl = fl_config;
-    const auto fair = core::run_fairbfl(env, fair_config);
+    const auto fair = core::run_system(env, core::fairbfl_spec(fair_config));
     EXPECT_NEAR(fair.final_accuracy, fedavg.final_accuracy, 0.08);
 }
 
@@ -135,7 +177,7 @@ TEST(Harness, FedProxRunsUnderSharedProtocol) {
     config.base = small_fl();
     config.prox_mu = 0.05;
     config.drop_percent = 0.1;
-    const auto run = core::run_fedprox(env, config, core::DelayParams{});
+    const auto run = core::run_system(env, core::fedprox_spec(config, core::DelayParams{}));
     EXPECT_EQ(run.series.size(), 10U);
     EXPECT_GT(run.final_accuracy, 0.5);
 }
@@ -144,7 +186,8 @@ TEST(Harness, BlockchainRunHasNoAccuracy) {
     core::BlockchainBaselineConfig config;
     config.workers = 10;
     config.rounds = 5;
-    const auto run = core::run_blockchain(config);
+    const core::Environment none;  // pure ledger ignores the environment
+    const auto run = core::run_system(none, core::blockchain_spec(config));
     for (const auto& point : run.series) EXPECT_EQ(point.accuracy, 0.0);
     EXPECT_GT(run.average_delay, 0.0);
 }
