@@ -1,0 +1,170 @@
+// bench_perf_round: the end-to-end round perf harness.
+//
+// Registry-driven: builds an environment per sweep point, runs the chosen
+// system (default "fairbfl") through run_system, and reports the *measured
+// host wall time* of each pipeline stage (local learning, the Algorithm-2
+// cluster+contribution stage, aggregation combines, mining/consensus) as
+// machine-readable JSON on stdout -- the perf trajectory every PR appends
+// to.  Human-readable progress goes to stderr so stdout stays parseable.
+//
+//   ./bench_perf_round                          # sweep 16,64,128,256
+//   ./bench_perf_round --sweep=16 --rounds=3    # CI smoke sweep
+//   ./bench_perf_round --out=perf.json          # also write to a file
+//
+// Every client participates every round (ratio 1.0) so the clustering
+// stage sees the full n+1 points, and the model dimension defaults to the
+// paper's 784 features (7850 logistic parameters) to keep the distance
+// kernels honest.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "support/cli.hpp"
+
+using namespace fairbfl;
+
+namespace {
+
+/// Parses "16,64,128"; returns empty (a usage error) on any malformed
+/// entry -- same discipline as CliArgs' numeric getters.
+std::vector<std::size_t> parse_sweep(const std::string& csv) {
+    std::vector<std::size_t> sweep;
+    std::stringstream stream(csv);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        char* end = nullptr;
+        const long long n = std::strtoll(token.c_str(), &end, 10);
+        if (end == token.c_str() || *end != '\0' || n <= 0) {
+            std::fprintf(stderr, "bench_perf_round: bad sweep entry '%s'\n",
+                         token.c_str());
+            return {};
+        }
+        sweep.push_back(static_cast<std::size_t>(n));
+    }
+    return sweep;
+}
+
+struct SweepPoint {
+    std::size_t clients = 0;
+    std::size_t rounds = 0;
+    core::StageWall total;  ///< summed over rounds
+    double run_seconds = 0.0;
+    double final_accuracy = 0.0;
+};
+
+void append_json(std::string& out, const SweepPoint& p) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"clients\": %zu, \"rounds\": %zu,\n"
+        "     \"seconds\": {\"local\": %.6f, \"cluster\": %.6f, "
+        "\"aggregate\": %.6f, \"mine\": %.6f, \"total\": %.6f},\n"
+        "     \"run_seconds\": %.6f, \"final_accuracy\": %.4f}",
+        p.clients, p.rounds, p.total.local, p.total.cluster,
+        p.total.aggregate, p.total.mine, p.total.total(), p.run_seconds,
+        p.final_accuracy);
+    out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    support::CliArgs args(argc, argv);
+    if (args.help_requested()) {
+        std::puts(
+            "bench_perf_round: per-stage wall-time trajectory (JSON)\n"
+            "  --sweep=16,64,128,256  client counts to sweep\n"
+            "  --rounds=5             rounds per sweep point\n"
+            "  --dim=784              feature dimension\n"
+            "  --system=fairbfl       registry key to benchmark\n"
+            "  --seed=42 --miners=2 --out=FILE");
+        return 0;
+    }
+    const auto sweep =
+        parse_sweep(args.get_string("sweep", "16,64,128,256"));
+    const auto rounds =
+        static_cast<std::size_t>(args.get_int("rounds", 5));
+    const auto dim = static_cast<std::size_t>(args.get_int("dim", 784));
+    const auto miners = static_cast<std::size_t>(args.get_int("miners", 2));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const std::string system = args.get_string("system", "fairbfl");
+    const std::string out_path = args.get_string("out", "");
+    if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
+
+    std::vector<SweepPoint> points;
+    for (const std::size_t clients : sweep) {
+        core::EnvironmentConfig env_cfg;
+        env_cfg.data.samples = 25 * clients;  // fixed per-client shard size
+        env_cfg.data.feature_dim = dim;
+        env_cfg.data.seed = seed;
+        env_cfg.partition.num_clients = clients;
+        env_cfg.partition.seed = seed;
+        const core::Environment env = core::build_environment(env_cfg);
+
+        core::SystemSpec spec;
+        spec.system = system;
+        spec.rounds = rounds;
+        spec.fair.fl.rounds = rounds;
+        spec.fair.fl.client_ratio = 1.0;  // full round: n+1 clustered points
+        spec.fair.fl.seed = seed;
+        spec.fair.miners = miners;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::SystemRun run = core::run_system(env, spec);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        SweepPoint point;
+        point.clients = clients;
+        point.rounds = run.series.size();
+        point.run_seconds = std::chrono::duration<double>(t1 - t0).count();
+        point.final_accuracy = run.final_accuracy;
+        for (const auto& p : run.series) {
+            point.total.local += p.wall.local;
+            point.total.cluster += p.wall.cluster;
+            point.total.aggregate += p.wall.aggregate;
+            point.total.mine += p.wall.mine;
+        }
+        points.push_back(point);
+        std::fprintf(stderr,
+                     "# n=%-4zu local=%.4fs cluster=%.4fs aggregate=%.4fs "
+                     "mine=%.4fs run=%.4fs\n",
+                     clients, point.total.local, point.total.cluster,
+                     point.total.aggregate, point.total.mine,
+                     point.run_seconds);
+    }
+
+    std::string json;
+    json += "{\n  \"bench\": \"bench_perf_round\",\n";
+    json += "  \"system\": \"" + system + "\",\n";
+    char header[160];
+    std::snprintf(header, sizeof header,
+                  "  \"rounds\": %zu,\n  \"feature_dim\": %zu,\n"
+                  "  \"miners\": %zu,\n  \"seed\": %llu,\n  \"sweep\": [\n",
+                  rounds, dim, miners,
+                  static_cast<unsigned long long>(seed));
+    json += header;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        append_json(json, points[i]);
+        json += i + 1 < points.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!out_path.empty()) {
+        std::ofstream file(out_path);
+        if (!file) {
+            std::fprintf(stderr, "bench_perf_round: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        file << json;
+    }
+    return 0;
+}

@@ -37,6 +37,18 @@ public:
     virtual ~ClusteringAlgorithm() = default;
     [[nodiscard]] virtual ClusterResult cluster(
         std::span<const std::vector<float>> points) const = 0;
+
+    /// Clusters `points` reusing a prebuilt pairwise matrix over the same
+    /// points (the round pipeline builds it once and shares it across
+    /// every stage).  Implementations use `dist` only when its metric
+    /// matches their own; the default ignores it.
+    [[nodiscard]] virtual ClusterResult cluster_with(
+        const DistanceMatrix& dist,
+        std::span<const std::vector<float>> points) const {
+        (void)dist;
+        return cluster(points);
+    }
+
     [[nodiscard]] virtual const char* name() const = 0;
 };
 

@@ -7,18 +7,31 @@ namespace fairbfl::cluster {
 
 ClusterResult Dbscan::cluster(
     std::span<const std::vector<float>> points) const {
+    if (points.empty()) return {};
+    return cluster_matrix(DistanceMatrix(params_.metric, points));
+}
+
+ClusterResult Dbscan::cluster_with(
+    const DistanceMatrix& dist,
+    std::span<const std::vector<float>> points) const {
+    if (points.empty()) return {};
+    if (dist.metric() != params_.metric || dist.size() != points.size())
+        return cluster(points);
+    return cluster_matrix(dist);
+}
+
+ClusterResult Dbscan::cluster_matrix(const DistanceMatrix& dist) const {
     ClusterResult result;
-    const std::size_t n = points.size();
+    const std::size_t n = dist.size();
     result.labels.assign(n, ClusterResult::kNoise);
     if (n == 0) return result;
-
-    const DistanceMatrix dist(params_.metric, points);
 
     // Neighbourhoods (self included, matching the classic formulation).
     std::vector<std::vector<std::size_t>> neighbours(n);
     for (std::size_t i = 0; i < n; ++i) {
+        const auto row = dist.row(i);
         for (std::size_t j = 0; j < n; ++j) {
-            if (dist.at(i, j) <= params_.eps) neighbours[i].push_back(j);
+            if (row[j] <= params_.eps) neighbours[i].push_back(j);
         }
     }
 
@@ -60,12 +73,18 @@ double suggest_eps(std::span<const std::vector<float>> points,
                    std::size_t min_pts, Metric metric) {
     const std::size_t n = points.size();
     if (n <= min_pts) return 0.1;
-    const DistanceMatrix dist(metric, points);
+    return suggest_eps(DistanceMatrix(metric, points), min_pts);
+}
+
+double suggest_eps(const DistanceMatrix& dist, std::size_t min_pts) {
+    const std::size_t n = dist.size();
+    if (n <= min_pts) return 0.1;
     std::vector<double> kth;
     kth.reserve(n);
     std::vector<double> row(n);
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < n; ++j) row[j] = dist.at(i, j);
+        const auto src = dist.row(i);
+        std::copy(src.begin(), src.end(), row.begin());
         std::nth_element(row.begin(),
                          row.begin() + static_cast<std::ptrdiff_t>(min_pts),
                          row.end());

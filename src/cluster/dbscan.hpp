@@ -26,6 +26,12 @@ public:
 
     [[nodiscard]] ClusterResult cluster(
         std::span<const std::vector<float>> points) const override;
+    /// Reuses a prebuilt matrix when its metric matches params().metric
+    /// (else rebuilds under the configured metric -- correctness over
+    /// reuse).
+    [[nodiscard]] ClusterResult cluster_with(
+        const DistanceMatrix& dist,
+        std::span<const std::vector<float>> points) const override;
     [[nodiscard]] const char* name() const override { return "dbscan"; }
 
     [[nodiscard]] const DbscanParams& params() const noexcept {
@@ -33,6 +39,10 @@ public:
     }
 
 private:
+    /// The scan itself; `dist` must cover exactly the point set.
+    [[nodiscard]] ClusterResult cluster_matrix(
+        const DistanceMatrix& dist) const;
+
     DbscanParams params_;
 };
 
@@ -42,5 +52,10 @@ private:
 [[nodiscard]] double suggest_eps(std::span<const std::vector<float>> points,
                                  std::size_t min_pts,
                                  Metric metric = Metric::kCosine);
+
+/// Same heuristic reading a prebuilt matrix instead of recomputing the
+/// pairwise distances.
+[[nodiscard]] double suggest_eps(const DistanceMatrix& dist,
+                                 std::size_t min_pts);
 
 }  // namespace fairbfl::cluster

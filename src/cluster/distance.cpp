@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/parallel.hpp"
 #include "support/vecmath.hpp"
 
 namespace fairbfl::cluster {
@@ -18,15 +19,31 @@ double distance(Metric metric, std::span<const float> a,
 }
 
 DistanceMatrix::DistanceMatrix(Metric metric,
-                               std::span<const std::vector<float>> points)
-    : n_(points.size()), values_(points.size() * points.size(), 0.0) {
-    for (std::size_t i = 0; i < n_; ++i) {
-        for (std::size_t j = i + 1; j < n_; ++j) {
-            const double d = distance(metric, points[i], points[j]);
-            values_[i * n_ + j] = d;
-            values_[j * n_ + i] = d;
-        }
-    }
+                               std::span<const std::vector<float>> points,
+                               support::ThreadPool& pool)
+    : metric_(metric),
+      n_(points.size()),
+      values_(points.size() * points.size(), 0.0) {
+    if (n_ < 2) return;
+    if (metric_ == Metric::kCosine) norms_ = support::norms_of(points, pool);
+
+    // Row-parallel upper triangle; task i owns every (i, j > i) pair and
+    // its mirror slot, so writes never overlap.
+    support::parallel_for(
+        0, n_ - 1,
+        [&](std::size_t i) {
+            for (std::size_t j = i + 1; j < n_; ++j) {
+                const double d =
+                    metric_ == Metric::kCosine
+                        ? support::cosine_distance_cached(
+                              points[i], points[j], norms_[i], norms_[j])
+                        : std::sqrt(support::squared_distance_blocked(
+                              points[i], points[j]));
+                values_[i * n_ + j] = d;
+                values_[j * n_ + i] = d;
+            }
+        },
+        pool);
 }
 
 }  // namespace fairbfl::cluster

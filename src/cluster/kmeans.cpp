@@ -10,6 +10,20 @@ namespace fairbfl::cluster {
 
 ClusterResult KMeans::cluster(
     std::span<const std::vector<float>> points) const {
+    return cluster_impl(points, nullptr);
+}
+
+ClusterResult KMeans::cluster_with(
+    const DistanceMatrix& dist,
+    std::span<const std::vector<float>> points) const {
+    if (dist.metric() != params_.metric || dist.size() != points.size())
+        return cluster_impl(points, nullptr);
+    return cluster_impl(points, &dist);
+}
+
+ClusterResult KMeans::cluster_impl(
+    std::span<const std::vector<float>> points,
+    const DistanceMatrix* dist) const {
     ClusterResult result;
     const std::size_t n = points.size();
     if (n == 0) return result;
@@ -27,23 +41,28 @@ ClusterResult KMeans::cluster(
 
     auto rng = support::Rng::fork(params_.seed, /*stream=*/0x4B4D);
 
-    // k-means++ seeding.
+    // k-means++ seeding.  Every candidate centroid is a data point here,
+    // so a prebuilt matrix answers the seed distances by lookup (the
+    // cosine matrix is built on the unnormalized originals, whose cosine
+    // distances equal the normalized copies').
     std::vector<std::vector<float>> centroids;
     centroids.reserve(k);
-    centroids.push_back(
-        data[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(n) - 1))]);
+    std::size_t last_seed = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    centroids.push_back(data[last_seed]);
     std::vector<double> min_dist2(n, std::numeric_limits<double>::infinity());
     while (centroids.size() < k) {
         double total = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
             const double d =
-                distance(params_.metric, data[i], centroids.back());
+                dist ? dist->at(i, last_seed)
+                     : distance(params_.metric, data[i], centroids.back());
             min_dist2[i] = std::min(min_dist2[i], d * d);
             total += min_dist2[i];
         }
         if (total <= 0.0) {
             // All points coincide with the chosen centroids; duplicate one.
+            last_seed = 0;
             centroids.push_back(data[0]);
             continue;
         }
@@ -56,6 +75,7 @@ ClusterResult KMeans::cluster(
                 break;
             }
         }
+        last_seed = chosen;
         centroids.push_back(data[chosen]);
     }
 

@@ -25,6 +25,23 @@ public:
 
     [[nodiscard]] ClusterResult cluster(
         std::span<const std::vector<float>> points) const override;
+    /// Reuses a prebuilt matrix for the k-means++ seeding phase (every
+    /// candidate centroid is still a data point there, so seed distances
+    /// are plain matrix lookups).  Lloyd iterations move the centroids off
+    /// the data and always recompute.  The matrix is used only when its
+    /// metric matches params().metric.
+    ///
+    /// Caveat: matrix entries are mathematically equal but not bit-equal
+    /// to what cluster() computes (blocked Euclidean kernel; cosine on
+    /// unnormalized originals), and seeding feeds them into cumulative
+    /// probability sampling -- so in ulp-tight ties this path may pick a
+    /// different (equally valid) seed than cluster() and label the same
+    /// partition differently.  Use it for throughput when a matching
+    /// matrix already exists, not when exact reproduction of the
+    /// points-path labels matters.
+    [[nodiscard]] ClusterResult cluster_with(
+        const DistanceMatrix& dist,
+        std::span<const std::vector<float>> points) const override;
     [[nodiscard]] const char* name() const override { return "kmeans"; }
 
     [[nodiscard]] const KMeansParams& params() const noexcept {
@@ -32,6 +49,10 @@ public:
     }
 
 private:
+    [[nodiscard]] ClusterResult cluster_impl(
+        std::span<const std::vector<float>> points,
+        const DistanceMatrix* dist) const;
+
     KMeansParams params_;
 };
 

@@ -62,6 +62,21 @@ struct RoundDelay {
     }
 };
 
+/// *Measured* wall-clock seconds of one round's pipeline stages on the
+/// host -- the perf counterpart of the *simulated* RoundDelay above.
+/// bench_perf_round sums these per sweep point to track the real cost of
+/// each stage across PRs.  Stages a system does not execute stay zero.
+struct StageWall {
+    double local = 0.0;      ///< Procedure I: local learning
+    double cluster = 0.0;    ///< Algorithm 2: matrix + clustering + theta
+    double aggregate = 0.0;  ///< provisional combine + reward settlement
+    double mine = 0.0;       ///< Procedure V: consensus + chain submit
+
+    [[nodiscard]] double total() const noexcept {
+        return local + cluster + aggregate + mine;
+    }
+};
+
 class DelayModel {
 public:
     explicit DelayModel(DelayParams params = {}) noexcept;

@@ -70,6 +70,9 @@ struct SeriesPoint {
     double delay_seconds = 0.0;    ///< d_i
     double elapsed_seconds = 0.0;  ///< cumulative sum of d_i
     double accuracy = 0.0;         ///< acc_i (0 for pure blockchain)
+    /// Measured host wall time per stage (bench_perf_round); zero for
+    /// systems that do not report it.
+    StageWall wall;
 };
 
 struct SystemRun {

@@ -1,6 +1,7 @@
 #include "core/fairbfl.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "crypto/hybrid.hpp"
@@ -8,6 +9,30 @@
 #include "support/logging.hpp"
 
 namespace fairbfl::core {
+
+namespace {
+
+/// Accumulates host wall-clock seconds into a StageWall field while in
+/// scope.  Measurement only -- never feeds the simulated delay model or
+/// any seeded arithmetic, so the fixed-seed series are unaffected.
+class StageStopwatch {
+public:
+    explicit StageStopwatch(double& sink) noexcept
+        : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+    ~StageStopwatch() {
+        *sink_ += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    }
+    StageStopwatch(const StageStopwatch&) = delete;
+    StageStopwatch& operator=(const StageStopwatch&) = delete;
+
+private:
+    double* sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
                  ml::DatasetView test_set, FairBflConfig config)
@@ -34,8 +59,11 @@ FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
     // chain stores protocol-valid blocks without re-running the hash race.
     chain_.set_check_pow(false);
     for (const auto& client : clients_) keys_.register_node(client.id());
-    // Miners get ids above the client range.
-    for (std::size_t k = 0; k < config_.miners; ++k)
+    // Miners get ids above the client range.  At least one miner id is
+    // always registered: the mining stage signs the winner's block with
+    // proxy id clients_.size(), and the upload stage addresses a proxy
+    // miner, even when config.miners == 0.
+    for (std::size_t k = 0; k < std::max<std::size_t>(config_.miners, 1); ++k)
         keys_.register_node(static_cast<crypto::NodeId>(clients_.size() + k));
 
     auto rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x1417);
@@ -71,9 +99,13 @@ BflRoundRecord FairBfl::run_round() {
     record.fl.selected = selected.size();
 
     // --- Procedure I: local learning (parallel across clients).
-    auto updates = fl::run_local_updates(clients_, selected, weights_,
-                                         config_.fl.sgd, round,
-                                         config_.fl.seed);
+    std::vector<fl::GradientUpdate> updates;
+    {
+        const StageStopwatch watch(record.wall.local);
+        updates = fl::run_local_updates(clients_, selected, weights_,
+                                        config_.fl.sgd, round,
+                                        config_.fl.seed);
+    }
     std::vector<std::size_t> steps;
     steps.reserve(selected.size());
     for (const std::size_t id : selected) steps.push_back(batch_steps_of(id));
@@ -167,19 +199,29 @@ BflRoundRecord FairBfl::run_round() {
     // --- Procedure IV: provisional combine (line 24), Algorithm 2
     // (line 26), reward settlement (line 27 / Eq. 1) -- each stage behind
     // its strategy object.
-    const std::vector<float> provisional =
-        aggregator_->aggregate(final_updates);
+    std::vector<float> provisional;
+    {
+        const StageStopwatch watch(record.wall.aggregate);
+        provisional = aggregator_->aggregate(final_updates);
+    }
     std::size_t clustered_points = 0;
     if (config_.enable_incentive) {
         // Cluster on effective gradients: weights_ still holds w_r here.
-        const incentive::ContributionReport report =
-            contribution_->identify(final_updates, provisional, weights_);
+        incentive::ContributionReport report;
+        {
+            const StageStopwatch watch(record.wall.cluster);
+            report =
+                contribution_->identify(final_updates, provisional, weights_);
+        }
         clustered_points = final_updates.size() + 1;
         // An explicitly configured aggregator governs the settlement
         // combine as well; the default keeps Eq. 1 exactly.
-        weights_ = reward_->settle(
-            final_updates, report,
-            config_.aggregator ? aggregator_.get() : nullptr);
+        {
+            const StageStopwatch watch(record.wall.aggregate);
+            weights_ = reward_->settle(
+                final_updates, report,
+                config_.aggregator ? aggregator_.get() : nullptr);
+        }
         ledger_.record(round, report);
         record.round_reward_total = report.total_reward();
         record.low_contribution_clients = report.low_clients();
@@ -198,6 +240,7 @@ BflRoundRecord FairBfl::run_round() {
 
     // --- Procedure V: the winner packs the block; consensus accepts it.
     if (config_.stage_mining) {
+        const StageStopwatch watch(record.wall.mine);
         chain::Block block;
         block.header.index = chain_.tip().header.index + 1;
         block.header.prev_hash = chain_.tip().header.hash();

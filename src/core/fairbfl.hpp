@@ -81,6 +81,7 @@ struct FairBflConfig {
 struct BflRoundRecord {
     fl::RoundRecord fl;                      ///< accuracy / loss / counts
     RoundDelay delay;                        ///< paper's T components
+    StageWall wall;                          ///< measured host wall time
     std::vector<fl::NodeId> attacker_clients;
     std::vector<fl::NodeId> low_contribution_clients;  ///< Table 2 "Drop Index"
     double detection_rate = 1.0;             ///< Table 2 row metric

@@ -116,6 +116,7 @@ public:
         point.round = record.fl.round;
         point.accuracy = record.fl.test_accuracy;
         point.delay_seconds = record.delay.total();
+        point.wall = record.wall;
         return point;
     }
 

@@ -20,11 +20,25 @@ void check_updates(std::span<const GradientUpdate> updates) {
 
 }  // namespace
 
+namespace {
+
+/// The update set as a borrowed row view for the vecmath combine kernels,
+/// which split the dimension range across the thread pool for large
+/// models while accumulating bit-identically to the serial axpy loop.
+std::vector<support::RowView> rows_of(
+    std::span<const GradientUpdate> updates) {
+    std::vector<support::RowView> rows;
+    rows.reserve(updates.size());
+    for (const auto& u : updates) rows.emplace_back(u.weights);
+    return rows;
+}
+
+}  // namespace
+
 std::vector<float> simple_average(std::span<const GradientUpdate> updates) {
     check_updates(updates);
     std::vector<float> out(updates[0].weights.size(), 0.0F);
-    for (const auto& u : updates) support::axpy(1.0F, u.weights, out);
-    support::scale(out, 1.0F / static_cast<float>(updates.size()));
+    support::mean_of(rows_of(updates), out);
     return out;
 }
 
@@ -42,11 +56,11 @@ std::vector<float> weighted_aggregate(std::span<const GradientUpdate> updates,
     if (sum <= 0.0)
         throw std::invalid_argument("aggregate: zero weight sum");
 
+    std::vector<double> normalized(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        normalized[i] = weights[i] / sum;
     std::vector<float> out(updates[0].weights.size(), 0.0F);
-    for (std::size_t i = 0; i < updates.size(); ++i) {
-        support::axpy(static_cast<float>(weights[i] / sum),
-                      updates[i].weights, out);
-    }
+    support::weighted_sum(rows_of(updates), normalized, out);
     return out;
 }
 

@@ -47,14 +47,27 @@ ContributionReport identify_contributions(
     points.push_back(to_point(provisional_global));
     const std::size_t global_index = points.size() - 1;
 
+    // The round's one and only O(n^2 d) job: the pairwise matrix over all
+    // updates plus the provisional global, under the clustering metric.
+    // Built for the DBSCAN branch only, where eps suggestion, the
+    // neighbourhood scan, the nearest-cluster fallback, and (under the
+    // cosine metric) the theta scores all read from it.  k-means touches
+    // just O(k) seed distances, so the full build would cost more than it
+    // saves -- that branch computes the few distances it needs directly.
+    const cluster::Metric cluster_metric =
+        config.clustering == ClusteringChoice::kDbscan
+            ? config.dbscan.metric
+            : config.kmeans.metric;
+    cluster::DistanceMatrix dist;
+
     std::unique_ptr<cluster::ClusteringAlgorithm> algorithm;
     switch (config.clustering) {
         case ClusteringChoice::kDbscan: {
+            dist = cluster::DistanceMatrix(cluster_metric, points);
             cluster::DbscanParams params = config.dbscan;
             if (config.adaptive_eps) {
                 params.eps = config.adaptive_eps_scale *
-                             cluster::suggest_eps(points, params.min_pts,
-                                                  params.metric);
+                             cluster::suggest_eps(dist, params.min_pts);
             }
             algorithm = std::make_unique<cluster::Dbscan>(params);
             break;
@@ -63,23 +76,27 @@ ContributionReport identify_contributions(
             algorithm = std::make_unique<cluster::KMeans>(config.kmeans);
             break;
     }
-    report.clustering = algorithm->cluster(points);
+    const bool have_matrix = dist.size() == points.size();
+    report.clustering = have_matrix ? algorithm->cluster_with(dist, points)
+                                    : algorithm->cluster(points);
     report.global_cluster = report.clustering.labels[global_index];
 
     // Attackers can drag the provisional average off the honest cluster,
     // leaving the global update in DBSCAN noise.  Membership in "the
     // global's cluster" is then undefined; the robust reading of
     // Algorithm 2 assigns the global to its *nearest* cluster (minimum
-    // cosine distance to any member), which is the honest one whenever an
-    // honest majority exists.
+    // distance under the clustering metric to any member), which is the
+    // honest one whenever an honest majority exists.
     if (report.global_cluster == cluster::ClusterResult::kNoise &&
         report.clustering.num_clusters > 0) {
         double best = std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < global_index; ++i) {
             const int label = report.clustering.labels[i];
             if (label == cluster::ClusterResult::kNoise) continue;
-            const double d = support::cosine_distance(points[i],
-                                                      points[global_index]);
+            const double d =
+                have_matrix ? dist.at(global_index, i)
+                            : cluster::distance(cluster_metric, points[i],
+                                                points[global_index]);
             if (d < best) {
                 best = d;
                 report.global_cluster = label;
@@ -110,13 +127,26 @@ ContributionReport identify_contributions(
     }
 
     // theta_i: cosine distance of each update to the provisional global.
+    // The cosine matrix already holds these in the global's row; otherwise
+    // the fused batch kernel computes them with the global's norm cached
+    // (bit-identical to pairwise cosine_distance).
+    std::vector<double> theta(updates.size());
+    if (have_matrix && cluster_metric == cluster::Metric::kCosine) {
+        const auto global_row = dist.row(global_index);
+        std::copy(global_row.begin(), global_row.begin() + updates.size(),
+                  theta.begin());
+    } else {
+        support::cosine_distances_to(
+            std::span<const std::vector<float>>(points).first(updates.size()),
+            points[global_index], theta);
+    }
+
     report.entries.resize(updates.size());
     double high_theta_sum = 0.0;
     for (std::size_t i = 0; i < updates.size(); ++i) {
         ClientContribution& entry = report.entries[i];
         entry.client = updates[i].client;
-        entry.theta =
-            support::cosine_distance(points[i], points[global_index]);
+        entry.theta = theta[i];
         // High contribution: same (non-noise) cluster as the global update.
         // When the global lands in noise (tiny rounds / degenerate eps),
         // nobody is "in its cluster"; treat everyone as high so the round

@@ -40,14 +40,32 @@ std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) {
     consumed_[std::string(key)] = true;
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return std::strtoll(it->second.c_str(), nullptr, 10);
+    // A malformed number silently becoming 0 (or a bare `--rounds`
+    // becoming "true" -> 0) corrupts sweeps; flag it instead.
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--%s: '%s' is not an integer\n",
+                     it->first.c_str(), it->second.c_str());
+        parse_error_ = true;
+        return fallback;
+    }
+    return value;
 }
 
 double CliArgs::get_double(std::string_view key, double fallback) {
     consumed_[std::string(key)] = true;
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return std::strtod(it->second.c_str(), nullptr);
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--%s: '%s' is not a number\n",
+                     it->first.c_str(), it->second.c_str());
+        parse_error_ = true;
+        return fallback;
+    }
+    return value;
 }
 
 bool CliArgs::get_flag(std::string_view key, bool fallback) {

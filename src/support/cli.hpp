@@ -19,6 +19,10 @@ public:
     CliArgs(int argc, const char* const* argv);
 
     /// Value lookups; each records the key as "known" for finish().
+    /// The numeric getters return the fallback and mark a parse error
+    /// (failing finish()) when the value is not fully numeric -- a
+    /// malformed `--rounds=abc` or bare `--rounds` never silently reads
+    /// as 0.
     [[nodiscard]] std::string get_string(std::string_view key,
                                          std::string_view fallback);
     [[nodiscard]] std::int64_t get_int(std::string_view key,

@@ -153,4 +153,25 @@ void parallel_for(std::size_t begin, std::size_t end,
     });
 }
 
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>& body,
+                     ThreadPool& pool) {
+    if (begin >= end) return;
+    if (chunk == 0) chunk = 1;
+    if (pool.size() <= 1 || end - begin <= chunk) {
+        body(begin, end);
+        return;
+    }
+    // Dynamic chunk pull, like parallel_for: the chunk boundaries depend
+    // only on (begin, chunk), never on which worker claims them.
+    std::atomic<std::size_t> next{begin};
+    pool.run([&](unsigned) {
+        for (;;) {
+            const std::size_t lo = next.fetch_add(chunk);
+            if (lo >= end) return;
+            body(lo, std::min(end, lo + chunk));
+        }
+    });
+}
+
 }  // namespace fairbfl::support

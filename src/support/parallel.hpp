@@ -63,4 +63,16 @@ void parallel_for(std::size_t begin, std::size_t end,
                   ThreadPool& pool = ThreadPool::global(),
                   std::size_t grain = 1);
 
+/// Range-chunked variant for fine-grained elementwise work (the vecmath
+/// kernels): splits [begin, end) into contiguous chunks of at most `chunk`
+/// elements and runs body(chunk_begin, chunk_end) across the pool -- one
+/// std::function invocation per chunk instead of per index.  Ranges no
+/// larger than one chunk (and single-worker pools) run as a single inline
+/// body(begin, end) call.  Kernels whose per-element result is independent
+/// of the chunk boundaries are therefore deterministic under any thread
+/// count.
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>& body,
+                     ThreadPool& pool = ThreadPool::global());
+
 }  // namespace fairbfl::support

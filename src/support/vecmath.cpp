@@ -3,12 +3,31 @@
 #include <cassert>
 #include <cmath>
 
+#include "support/parallel.hpp"
+
 namespace fairbfl::support {
+
+namespace {
+
+/// Dimension-chunk width for the parallel reduction kernels: big enough
+/// that a chunk amortizes the fork overhead, small enough to split a
+/// production-scale model across every core.
+constexpr std::size_t kDimChunk = 8192;
+
+}  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
     assert(x.size() == y.size());
     const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    // Elementwise, so the 4-way unroll is bit-identical to the plain loop.
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        y[i] += alpha * x[i];
+        y[i + 1] += alpha * x[i + 1];
+        y[i + 2] += alpha * x[i + 2];
+        y[i + 3] += alpha * x[i + 3];
+    }
+    for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
 void scale(std::span<float> x, float alpha) noexcept {
@@ -21,6 +40,7 @@ void fill(std::span<float> x, float value) noexcept {
 
 double dot(std::span<const float> x, std::span<const float> y) noexcept {
     assert(x.size() == y.size());
+    // Strictly left-to-right: training and theta depend on these bits.
     double acc = 0.0;
     const std::size_t n = x.size();
     for (std::size_t i = 0; i < n; ++i)
@@ -44,36 +64,149 @@ double squared_distance(std::span<const float> x,
     return acc;
 }
 
+double dot_blocked(std::span<const float> x,
+                   std::span<const float> y) noexcept {
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+        a1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+        a2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+        a3 += static_cast<double>(x[i + 3]) * static_cast<double>(y[i + 3]);
+    }
+    double acc = (a0 + a1) + (a2 + a3);
+    for (; i < n; ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    return acc;
+}
+
+double squared_distance_blocked(std::span<const float> x,
+                                std::span<const float> y) noexcept {
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const double d0 =
+            static_cast<double>(x[i]) - static_cast<double>(y[i]);
+        const double d1 =
+            static_cast<double>(x[i + 1]) - static_cast<double>(y[i + 1]);
+        const double d2 =
+            static_cast<double>(x[i + 2]) - static_cast<double>(y[i + 2]);
+        const double d3 =
+            static_cast<double>(x[i + 3]) - static_cast<double>(y[i + 3]);
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+    }
+    double acc = (a0 + a1) + (a2 + a3);
+    for (; i < n; ++i) {
+        const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
+        acc += d * d;
+    }
+    return acc;
+}
+
 double cosine_distance(std::span<const float> x,
                        std::span<const float> y) noexcept {
-    const double nx = norm2(x);
-    const double ny = norm2(y);
-    if (nx == 0.0 || ny == 0.0) return 1.0;
-    double cosine = dot(x, y) / (nx * ny);
+    return cosine_distance_cached(x, y, norm2(x), norm2(y));
+}
+
+double cosine_distance_cached(std::span<const float> x,
+                              std::span<const float> y, double norm_x,
+                              double norm_y) noexcept {
+    if (norm_x == 0.0 || norm_y == 0.0) return 1.0;
+    double cosine = dot(x, y) / (norm_x * norm_y);
     // Clamp away floating-point drift so the result stays in [0, 2].
     if (cosine > 1.0) cosine = 1.0;
     if (cosine < -1.0) cosine = -1.0;
     return 1.0 - cosine;
 }
 
-void weighted_sum(std::span<const std::vector<float>> rows,
-                  std::span<const double> weights, std::span<float> out) {
-    assert(rows.size() == weights.size());
-    fill(out, 0.0F);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-        assert(rows[r].size() == out.size());
-        axpy(static_cast<float>(weights[r]), rows[r], out);
-    }
+std::vector<double> norms_of(std::span<const std::vector<float>> rows,
+                             ThreadPool& pool) {
+    std::vector<double> norms(rows.size());
+    parallel_for(
+        0, rows.size(), [&](std::size_t i) { norms[i] = norm2(rows[i]); },
+        pool);
+    return norms;
 }
 
-void mean_of(std::span<const std::vector<float>> rows, std::span<float> out) {
-    fill(out, 0.0F);
-    if (rows.empty()) return;
-    for (const auto& row : rows) {
-        assert(row.size() == out.size());
-        axpy(1.0F, row, out);
+void cosine_distances_to(std::span<const std::vector<float>> rows,
+                         std::span<const float> query,
+                         std::span<double> out) noexcept {
+    assert(rows.size() == out.size());
+    const double query_norm = norm2(query);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i] = cosine_distance_cached(rows[i], query, norm2(rows[i]),
+                                        query_norm);
+}
+
+void weighted_sum(std::span<const RowView> rows,
+                  std::span<const double> weights, std::span<float> out,
+                  ThreadPool& pool) {
+    assert(rows.size() == weights.size());
+#ifndef NDEBUG
+    for (const auto& row : rows) assert(row.size() == out.size());
+#endif
+    // Dimension-split: each output element accumulates its rows strictly
+    // in order inside one chunk, so the result matches the serial
+    // row-major axpy loop bit-for-bit under any thread count.
+    parallel_chunks(
+        0, out.size(), kDimChunk,
+        [&](std::size_t lo, std::size_t hi) {
+            const auto slice = out.subspan(lo, hi - lo);
+            fill(slice, 0.0F);
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                axpy(static_cast<float>(weights[r]),
+                     rows[r].subspan(lo, hi - lo), slice);
+            }
+        },
+        pool);
+}
+
+void mean_of(std::span<const RowView> rows, std::span<float> out,
+             ThreadPool& pool) {
+    if (rows.empty()) {
+        fill(out, 0.0F);
+        return;
     }
-    scale(out, 1.0F / static_cast<float>(rows.size()));
+#ifndef NDEBUG
+    for (const auto& row : rows) assert(row.size() == out.size());
+#endif
+    const float inv = 1.0F / static_cast<float>(rows.size());
+    parallel_chunks(
+        0, out.size(), kDimChunk,
+        [&](std::size_t lo, std::size_t hi) {
+            const auto slice = out.subspan(lo, hi - lo);
+            fill(slice, 0.0F);
+            for (const auto& row : rows)
+                axpy(1.0F, row.subspan(lo, hi - lo), slice);
+            scale(slice, inv);
+        },
+        pool);
+}
+
+namespace {
+
+std::vector<RowView> views_of(std::span<const std::vector<float>> rows) {
+    return {rows.begin(), rows.end()};
+}
+
+}  // namespace
+
+void weighted_sum(std::span<const std::vector<float>> rows,
+                  std::span<const double> weights, std::span<float> out,
+                  ThreadPool& pool) {
+    weighted_sum(views_of(rows), weights, out, pool);
+}
+
+void mean_of(std::span<const std::vector<float>> rows, std::span<float> out,
+             ThreadPool& pool) {
+    mean_of(views_of(rows), out, pool);
 }
 
 }  // namespace fairbfl::support

@@ -4,14 +4,30 @@
 // Gradients travel through the system as contiguous float vectors
 // (std::vector<float> / std::span<const float>); these kernels are the only
 // place that touches the raw loops, so they are written to auto-vectorize.
+//
+// Two accumulation disciplines coexist here, and the distinction is
+// load-bearing for reproducibility:
+//
+//  * `dot` / `norm2` / `squared_distance` / `cosine_distance` accumulate
+//    strictly left-to-right.  Their exact bit patterns feed model training
+//    and reward arithmetic, so fixed-seed series depend on them -- never
+//    reassociate these.
+//  * `dot_blocked` / `squared_distance_blocked` split the chain across
+//    independent partial accumulators (removing the add-latency bottleneck,
+//    ~2-4x faster) and therefore round differently in the last ulps.  They
+//    are reserved for consumers that only *compare* the results -- e.g. the
+//    clustering distance matrix, where labels come from `d <= eps`
+//    thresholds -- and must not leak into training or rewards.
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "support/parallel.hpp"
+
 namespace fairbfl::support {
 
-/// y += alpha * x.  Sizes must match.
+/// y += alpha * x.  Sizes must match.  Elementwise, so unrolling is exact.
 void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
 
 /// x *= alpha.
@@ -20,16 +36,25 @@ void scale(std::span<float> x, float alpha) noexcept;
 /// Sets every element of x to value.
 void fill(std::span<float> x, float value) noexcept;
 
-/// Dot product (accumulated in double for stability).
+/// Dot product (accumulated in double, strictly left-to-right).
 [[nodiscard]] double dot(std::span<const float> x,
                          std::span<const float> y) noexcept;
 
 /// Euclidean norm.
 [[nodiscard]] double norm2(std::span<const float> x) noexcept;
 
-/// Squared Euclidean distance between x and y.
+/// Squared Euclidean distance between x and y (strictly left-to-right).
 [[nodiscard]] double squared_distance(std::span<const float> x,
                                       std::span<const float> y) noexcept;
+
+/// Blocked dot product: four independent partial sums, combined at the
+/// end.  Faster than `dot` but reassociated -- comparison-only consumers.
+[[nodiscard]] double dot_blocked(std::span<const float> x,
+                                 std::span<const float> y) noexcept;
+
+/// Blocked squared Euclidean distance (same contract as dot_blocked).
+[[nodiscard]] double squared_distance_blocked(
+    std::span<const float> x, std::span<const float> y) noexcept;
 
 /// Cosine *distance* 1 - cos(x, y) in [0, 2].  This is the theta of the
 /// paper's Algorithm 2 ("the larger the theta, the farther the distance").
@@ -37,12 +62,49 @@ void fill(std::span<float> x, float value) noexcept;
 [[nodiscard]] double cosine_distance(std::span<const float> x,
                                      std::span<const float> y) noexcept;
 
-/// out = sum_i weights[i] * rows[i].  All rows must share out's size;
-/// weights.size() must equal rows.size().
-void weighted_sum(std::span<const std::vector<float>> rows,
-                  std::span<const double> weights, std::span<float> out);
+/// Cosine distance from precomputed norms: bit-identical to
+/// cosine_distance(x, y) when norm_x == norm2(x) and norm_y == norm2(y).
+/// This is the norm-caching seam the pairwise distance matrix uses to
+/// compute one dot per pair instead of three.
+[[nodiscard]] double cosine_distance_cached(std::span<const float> x,
+                                            std::span<const float> y,
+                                            double norm_x,
+                                            double norm_y) noexcept;
 
-/// out = (1/n) * sum_i rows[i].
-void mean_of(std::span<const std::vector<float>> rows, std::span<float> out);
+/// Per-row L2 norms: out[i] = norm2(rows[i]), rows fanned out over
+/// `pool` (the DistanceMatrix norm cache).
+[[nodiscard]] std::vector<double> norms_of(
+    std::span<const std::vector<float>> rows,
+    ThreadPool& pool = ThreadPool::global());
+
+/// Fused norms-then-cosine batch kernel: out[i] = cosine_distance(rows[i],
+/// query), computing the query norm once.  Bit-identical to calling
+/// cosine_distance per row.
+void cosine_distances_to(std::span<const std::vector<float>> rows,
+                         std::span<const float> query,
+                         std::span<double> out) noexcept;
+
+/// Borrowed row view: the combine kernels take spans so callers with rows
+/// embedded in larger records (e.g. fl::GradientUpdate) can pass them
+/// without copying the payloads.
+using RowView = std::span<const float>;
+
+/// out = sum_i weights[i] * rows[i].  All rows must share out's size;
+/// weights.size() must equal rows.size().  For large vectors the dimension
+/// range is split across `pool`; each output element still accumulates its
+/// rows strictly in order, so the result is bit-identical to the serial
+/// loop under any thread count.
+void weighted_sum(std::span<const RowView> rows,
+                  std::span<const double> weights, std::span<float> out,
+                  ThreadPool& pool = ThreadPool::global());
+void weighted_sum(std::span<const std::vector<float>> rows,
+                  std::span<const double> weights, std::span<float> out,
+                  ThreadPool& pool = ThreadPool::global());
+
+/// out = (1/n) * sum_i rows[i].  Parallelized like weighted_sum.
+void mean_of(std::span<const RowView> rows, std::span<float> out,
+             ThreadPool& pool = ThreadPool::global());
+void mean_of(std::span<const std::vector<float>> rows, std::span<float> out,
+             ThreadPool& pool = ThreadPool::global());
 
 }  // namespace fairbfl::support

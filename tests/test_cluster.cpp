@@ -5,6 +5,7 @@
 
 #include "cluster/dbscan.hpp"
 #include "cluster/kmeans.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -166,6 +167,105 @@ TEST(KMeans, DeterministicInSeed) {
     const cl::KMeans a({.k = 2, .metric = cl::Metric::kEuclidean, .seed = 5});
     const cl::KMeans b({.k = 2, .metric = cl::Metric::kEuclidean, .seed = 5});
     EXPECT_EQ(a.cluster(points).labels, b.cluster(points).labels);
+}
+
+TEST(Distance, ParallelBuildBitIdenticalToSerial) {
+    // The matrix fans rows out across the pool; every entry must be
+    // identical under any thread count.
+    const auto points = two_blobs(25, 3, 12);  // 53 points, 2 dims
+    fairbfl::support::ThreadPool serial(1);
+    fairbfl::support::ThreadPool parallel(4);
+    for (const auto metric : {cl::Metric::kEuclidean, cl::Metric::kCosine}) {
+        const cl::DistanceMatrix a(metric, points, serial);
+        const cl::DistanceMatrix b(metric, points, parallel);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            for (std::size_t j = 0; j < a.size(); ++j)
+                ASSERT_EQ(a.at(i, j), b.at(i, j)) << i << "," << j;
+    }
+}
+
+TEST(Distance, CosineMatrixCachesNorms) {
+    const auto points = two_blobs(4, 0, 13);
+    const cl::DistanceMatrix cosine(cl::Metric::kCosine, points);
+    EXPECT_EQ(cosine.norms().size(), points.size());
+    const cl::DistanceMatrix euclid(cl::Metric::kEuclidean, points);
+    EXPECT_TRUE(euclid.norms().empty());
+    // Cached-norm entries must match the plain pairwise kernel exactly.
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t j = 0; j < points.size(); ++j)
+            if (i != j)
+                EXPECT_EQ(cosine.at(i, j),
+                          cl::distance(cl::Metric::kCosine, points[i],
+                                       points[j]));
+}
+
+TEST(Dbscan, PrebuiltMatrixMatchesPointsPath) {
+    const auto points = two_blobs(20, 3, 14);
+    const cl::DbscanParams params{
+        .eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean};
+    const cl::Dbscan dbscan(params);
+    const cl::DistanceMatrix dist(params.metric, points);
+    const auto direct = dbscan.cluster(points);
+    const auto reused = dbscan.cluster_with(dist, points);
+    EXPECT_EQ(direct.labels, reused.labels);
+    EXPECT_EQ(direct.num_clusters, reused.num_clusters);
+}
+
+TEST(Dbscan, MismatchedMatrixMetricFallsBackToRebuild) {
+    const auto points = two_blobs(20, 0, 15);
+    const cl::Dbscan dbscan(
+        {.eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    // Wrong-metric matrix: correctness demands a rebuild, not reuse.
+    const cl::DistanceMatrix cosine(cl::Metric::kCosine, points);
+    const auto reused = dbscan.cluster_with(cosine, points);
+    EXPECT_EQ(reused.labels, dbscan.cluster(points).labels);
+}
+
+TEST(Dbscan, SuggestEpsMatrixOverloadMatchesPointsOverload) {
+    const auto points = two_blobs(20, 0, 16);
+    for (const auto metric : {cl::Metric::kEuclidean, cl::Metric::kCosine}) {
+        const cl::DistanceMatrix dist(metric, points);
+        EXPECT_EQ(cl::suggest_eps(points, 3, metric),
+                  cl::suggest_eps(dist, 3));
+    }
+}
+
+TEST(KMeans, PrebuiltMatrixSeedingSeparatesBlobsDeterministically) {
+    // Matrix seeding may legitimately pick a different (equally valid)
+    // seed than the points path in ulp-tight ties (see kmeans.hpp), so
+    // assert the partition structure and the path's own determinism
+    // rather than exact label equality across paths.
+    const auto points = two_blobs(20, 0, 17);
+    const cl::KMeans kmeans({.k = 2,
+                             .max_iterations = 50,
+                             .metric = cl::Metric::kEuclidean,
+                             .seed = 5});
+    const cl::DistanceMatrix dist(cl::Metric::kEuclidean, points);
+    const auto result = kmeans.cluster_with(dist, points);
+    EXPECT_EQ(result.num_clusters, 2);
+    EXPECT_TRUE(result.same_cluster(0, 1));
+    EXPECT_TRUE(result.same_cluster(20, 25));
+    EXPECT_FALSE(result.same_cluster(0, 20));
+    EXPECT_EQ(result.labels, kmeans.cluster_with(dist, points).labels);
+}
+
+TEST(KMeans, CosineMatrixSeedingStillSeparatesDirections) {
+    std::vector<std::vector<float>> points;
+    Rng rng(18);
+    for (int i = 0; i < 10; ++i)
+        points.push_back({1.0F + static_cast<float>(0.01 * rng.normal()),
+                          0.5F});
+    for (int i = 0; i < 10; ++i)
+        points.push_back({-1.0F + static_cast<float>(0.01 * rng.normal()),
+                          0.5F});
+    const cl::KMeans kmeans({.k = 2, .metric = cl::Metric::kCosine,
+                             .seed = 3});
+    const cl::DistanceMatrix dist(cl::Metric::kCosine, points);
+    const auto result = kmeans.cluster_with(dist, points);
+    EXPECT_EQ(result.num_clusters, 2);
+    EXPECT_TRUE(result.same_cluster(0, 5));
+    EXPECT_FALSE(result.same_cluster(0, 15));
 }
 
 TEST(ClusterResult, MembersOfAndSameCluster) {

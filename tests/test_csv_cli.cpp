@@ -76,4 +76,42 @@ TEST(Cli, HelpFlagDetected) {
     EXPECT_TRUE(args.help_requested());
 }
 
+TEST(Cli, MalformedIntIsFlaggedNotZero) {
+    const char* argv[] = {"prog", "--rounds=abc"};
+    CliArgs args(2, argv);
+    EXPECT_EQ(args.get_int("rounds", 100), 100);  // fallback, not 0
+    EXPECT_FALSE(args.finish("prog"));
+}
+
+TEST(Cli, TrailingGarbageIntIsFlagged) {
+    const char* argv[] = {"prog", "--rounds=12x"};
+    CliArgs args(2, argv);
+    EXPECT_EQ(args.get_int("rounds", 100), 100);
+    EXPECT_FALSE(args.finish("prog"));
+}
+
+TEST(Cli, BareNumericFlagIsFlagged) {
+    // A bare `--rounds` stores "true"; reading it as a number used to
+    // yield 0 silently.
+    const char* argv[] = {"prog", "--rounds"};
+    CliArgs args(2, argv);
+    EXPECT_EQ(args.get_int("rounds", 100), 100);
+    EXPECT_FALSE(args.finish("prog"));
+}
+
+TEST(Cli, MalformedDoubleIsFlagged) {
+    const char* argv[] = {"prog", "--eta=0.05oops"};
+    CliArgs args(2, argv);
+    EXPECT_DOUBLE_EQ(args.get_double("eta", 0.01), 0.01);
+    EXPECT_FALSE(args.finish("prog"));
+}
+
+TEST(Cli, WellFormedNumbersStillPass) {
+    const char* argv[] = {"prog", "--rounds=-3", "--eta=1e-2"};
+    CliArgs args(3, argv);
+    EXPECT_EQ(args.get_int("rounds", 0), -3);
+    EXPECT_DOUBLE_EQ(args.get_double("eta", 0.0), 0.01);
+    EXPECT_TRUE(args.finish("prog"));
+}
+
 }  // namespace

@@ -277,6 +277,39 @@ TEST(FairBfl, RsaPathSignsEveryBlockTransaction) {
     EXPECT_TRUE(chain.validate_full_chain());
 }
 
+TEST(FairBfl, ZeroMinersStillSignsWinnerBlock) {
+    // Regression: with config.miners == 0 and mining on, the winner's
+    // block is signed by proxy id clients_.size(), which used to be
+    // registered only for k < miners -- KeyStore::sign then threw
+    // std::out_of_range as soon as crypto was enabled.
+    World world;
+    auto config = fast_config();
+    config.miners = 0;
+    config.key_bits = 384;
+    config.fl.rounds = 2;
+    core::FairBfl system(*world.model, world.clients(), world.test, config);
+    std::vector<core::BflRoundRecord> records;
+    ASSERT_NO_THROW(records = system.run(2));
+    EXPECT_EQ(system.blockchain().height(), 3U);  // genesis + 2 rounds
+    EXPECT_TRUE(system.blockchain().validate_full_chain());
+    for (const auto& record : records)
+        EXPECT_EQ(record.chain_height, record.fl.round + 2);
+}
+
+TEST(FairBfl, ZeroMinersEncryptedUploadStillDelivers) {
+    // The upload stage addresses a proxy miner even when miners == 0; the
+    // encrypted path must find that proxy's key pair registered.
+    World world(6);
+    auto config = fast_config();
+    config.miners = 0;
+    config.key_bits = 384;
+    config.encrypt_gradients = true;
+    core::FairBfl system(*world.model, world.clients(), world.test, config);
+    core::BflRoundRecord record;
+    ASSERT_NO_THROW(record = system.run_round());
+    EXPECT_GT(record.fl.participants, 0U);  // nothing dropped undecryptable
+}
+
 TEST(FairBfl, EncryptedGradientPathLearnsIdentically) {
     // Hybrid encryption is pure transport: the decrypted gradients must
     // produce the same model as the plaintext path, while the wire payload

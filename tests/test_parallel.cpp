@@ -102,4 +102,63 @@ TEST(ParallelFor, PropagatesBodyException) {
                  std::logic_error);
 }
 
+TEST(ParallelChunks, CoversRangeExactlyOnceWithFixedBoundaries) {
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    constexpr std::size_t chunk = 64;
+    std::vector<std::atomic<int>> counts(n);
+    std::atomic<bool> boundaries_ok{true};
+    fairbfl::support::parallel_chunks(
+        0, n, chunk,
+        [&](std::size_t lo, std::size_t hi) {
+            // Boundaries depend only on (begin, chunk), never the worker.
+            if (lo % chunk != 0 || (hi != n && hi - lo != chunk))
+                boundaries_ok = false;
+            for (std::size_t i = lo; i < hi; ++i) counts[i]++;
+        },
+        pool);
+    EXPECT_TRUE(boundaries_ok.load());
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelChunks, SmallRangeRunsAsSingleInlineChunk) {
+    ThreadPool pool(4);
+    int calls = 0;
+    std::size_t seen_lo = 99, seen_hi = 0;
+    fairbfl::support::parallel_chunks(
+        3, 10, 64,
+        [&](std::size_t lo, std::size_t hi) {
+            ++calls;
+            seen_lo = lo;
+            seen_hi = hi;
+        },
+        pool);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(seen_lo, 3U);
+    EXPECT_EQ(seen_hi, 10U);
+}
+
+TEST(ParallelChunks, EmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    int calls = 0;
+    fairbfl::support::parallel_chunks(
+        5, 5, 8, [&](std::size_t, std::size_t) { ++calls; }, pool);
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelChunks, NestedInsidePoolTaskRunsInline) {
+    ThreadPool pool(4);
+    std::atomic<int> covered{0};
+    pool.run([&](unsigned) {
+        fairbfl::support::parallel_chunks(
+            0, 100, 10,
+            [&](std::size_t lo, std::size_t hi) {
+                covered += static_cast<int>(hi - lo);
+            },
+            pool);
+    });
+    // Every worker ran the nested loop inline over the full range.
+    EXPECT_EQ(covered.load(), 400);
+}
+
 }  // namespace

@@ -94,4 +94,119 @@ TEST(VecMath, MeanOfEmptyIsZero) {
     for (const float v : out) EXPECT_FLOAT_EQ(v, 0.0F);
 }
 
+// --- Blocked / batch kernels -----------------------------------------------
+
+std::vector<float> random_vec(std::size_t n, std::uint32_t& state) {
+    std::vector<float> v(n);
+    for (auto& x : v) {
+        state = state * 1664525U + 1013904223U;
+        x = static_cast<float>(static_cast<double>(state) / 4294967296.0 -
+                               0.5);
+    }
+    return v;
+}
+
+TEST(VecMath, AxpyUnrollMatchesReferenceOnOddSizes) {
+    std::uint32_t state = 1;
+    for (const std::size_t n : {0UL, 1UL, 3UL, 4UL, 5UL, 17UL, 1023UL}) {
+        const auto x = random_vec(n, state);
+        auto y = random_vec(n, state);
+        auto reference = y;
+        for (std::size_t i = 0; i < n; ++i)
+            reference[i] += 1.5F * x[i];
+        vm::axpy(1.5F, x, y);
+        EXPECT_EQ(y, reference) << "n=" << n;
+    }
+}
+
+TEST(VecMath, BlockedDotCloseToExactDot) {
+    std::uint32_t state = 2;
+    for (const std::size_t n : {1UL, 4UL, 7UL, 1000UL, 4099UL}) {
+        const auto x = random_vec(n, state);
+        const auto y = random_vec(n, state);
+        const double exact = vm::dot(x, y);
+        // Reassociated, so not bit-equal in general -- but tight.
+        EXPECT_NEAR(vm::dot_blocked(x, y), exact,
+                    1e-9 * (1.0 + std::abs(exact)))
+            << "n=" << n;
+    }
+}
+
+TEST(VecMath, BlockedSquaredDistanceCloseToExact) {
+    std::uint32_t state = 3;
+    for (const std::size_t n : {1UL, 5UL, 64UL, 4097UL}) {
+        const auto x = random_vec(n, state);
+        const auto y = random_vec(n, state);
+        const double exact = vm::squared_distance(x, y);
+        EXPECT_NEAR(vm::squared_distance_blocked(x, y), exact,
+                    1e-9 * (1.0 + exact))
+            << "n=" << n;
+    }
+}
+
+TEST(VecMath, CachedCosineBitIdenticalToPlain) {
+    std::uint32_t state = 4;
+    const auto x = random_vec(129, state);
+    const auto y = random_vec(129, state);
+    EXPECT_EQ(vm::cosine_distance_cached(x, y, vm::norm2(x), vm::norm2(y)),
+              vm::cosine_distance(x, y));
+}
+
+TEST(VecMath, BatchCosineBitIdenticalToPairwise) {
+    std::uint32_t state = 5;
+    std::vector<std::vector<float>> rows;
+    for (int i = 0; i < 9; ++i) rows.push_back(random_vec(33, state));
+    const auto query = random_vec(33, state);
+    std::vector<double> out(rows.size());
+    vm::cosine_distances_to(rows, query, out);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(out[i], vm::cosine_distance(rows[i], query)) << i;
+}
+
+TEST(VecMath, NormsOfMatchesNorm2) {
+    std::uint32_t state = 6;
+    std::vector<std::vector<float>> rows;
+    for (int i = 0; i < 5; ++i) rows.push_back(random_vec(11, state));
+    const auto norms = vm::norms_of(rows);
+    ASSERT_EQ(norms.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(norms[i], vm::norm2(rows[i])) << i;
+}
+
+// The parallel determinism contract of the combine kernels: a
+// multi-threaded pool must reproduce the serial accumulation bit-for-bit
+// (each element sums its rows in row order regardless of chunking).
+TEST(VecMath, WeightedSumParallelBitIdenticalToSerial) {
+    std::uint32_t state = 7;
+    const std::size_t dim = 3 * 8192 + 17;  // spans several chunks
+    std::vector<std::vector<float>> rows;
+    for (int r = 0; r < 6; ++r) rows.push_back(random_vec(dim, state));
+    const std::vector<double> weights{0.1, 0.3, 0.05, 0.25, 0.2, 0.1};
+
+    std::vector<float> serial(dim, 0.0F);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        vm::axpy(static_cast<float>(weights[r]), rows[r], serial);
+
+    fairbfl::support::ThreadPool pool(4);
+    std::vector<float> parallel(dim, 0.0F);
+    vm::weighted_sum(rows, weights, parallel, pool);
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(VecMath, MeanOfParallelBitIdenticalToSerial) {
+    std::uint32_t state = 8;
+    const std::size_t dim = 2 * 8192 + 5;
+    std::vector<std::vector<float>> rows;
+    for (int r = 0; r < 5; ++r) rows.push_back(random_vec(dim, state));
+
+    std::vector<float> serial(dim, 0.0F);
+    for (const auto& row : rows) vm::axpy(1.0F, row, serial);
+    vm::scale(serial, 1.0F / static_cast<float>(rows.size()));
+
+    fairbfl::support::ThreadPool pool(4);
+    std::vector<float> parallel(dim, 0.0F);
+    vm::mean_of(rows, parallel, pool);
+    EXPECT_EQ(parallel, serial);
+}
+
 }  // namespace
