@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
             "  --rounds=5             rounds per sweep point\n"
             "  --dim=784              feature dimension\n"
             "  --system=fairbfl       registry key to benchmark\n"
+            "  --engine=batched       Procedure-I engine: batched|reference\n"
             "  --seed=42 --miners=2 --out=FILE");
         return 0;
     }
@@ -95,8 +96,14 @@ int main(int argc, char** argv) {
     const auto miners = static_cast<std::size_t>(args.get_int("miners", 2));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     const std::string system = args.get_string("system", "fairbfl");
+    const std::string engine = args.get_string("engine", "batched");
     const std::string out_path = args.get_string("out", "");
     if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
+    if (engine != "batched" && engine != "reference") {
+        std::fprintf(stderr, "bench_perf_round: bad --engine '%s'\n",
+                     engine.c_str());
+        return 1;
+    }
 
     std::vector<SweepPoint> points;
     for (const std::size_t clients : sweep) {
@@ -114,7 +121,11 @@ int main(int argc, char** argv) {
         spec.fair.fl.rounds = rounds;
         spec.fair.fl.client_ratio = 1.0;  // full round: n+1 clustered points
         spec.fair.fl.seed = seed;
+        spec.fair.fl.batched_training = engine == "batched";
         spec.fair.miners = miners;
+        spec.fl.batched_training = spec.fair.fl.batched_training;
+        spec.fedprox.base.batched_training = spec.fair.fl.batched_training;
+        spec.vanilla.fl.batched_training = spec.fair.fl.batched_training;
 
         const auto t0 = std::chrono::steady_clock::now();
         const core::SystemRun run = core::run_system(env, spec);
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
     std::string json;
     json += "{\n  \"bench\": \"bench_perf_round\",\n";
     json += "  \"system\": \"" + system + "\",\n";
+    json += "  \"engine\": \"" + engine + "\",\n";
     char header[160];
     std::snprintf(header, sizeof header,
                   "  \"rounds\": %zu,\n  \"feature_dim\": %zu,\n"

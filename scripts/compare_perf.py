@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two bench_perf_round JSON artifacts and flag stage regressions.
+
+Usage:
+    compare_perf.py PREVIOUS.json CURRENT.json [--threshold 0.20]
+                    [--fail-on-regression]
+
+Emits a GitHub-flavoured markdown table (pipe it into $GITHUB_STEP_SUMMARY)
+comparing `seconds.local` and `seconds.cluster` per common sweep point, and
+a `::warning::` annotation when either stage at the *largest* common client
+count regresses by more than the threshold.  Exit code is non-zero only
+with --fail-on-regression (CI warns by default: shared-runner timing noise
+should not block a merge, but it must be visible in the job summary).
+
+A missing/unreadable previous artifact is not an error -- the first run on
+a branch has nothing to compare against.
+"""
+
+import argparse
+import json
+import sys
+
+WATCHED_STAGES = ("local", "cluster")
+
+
+def load_sweep(path):
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {point["clients"]: point["seconds"] for point in data["sweep"]}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression that triggers a warning")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    try:
+        previous = load_sweep(args.previous)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"No previous perf artifact to compare against ({error}).")
+        return 0
+    try:
+        current = load_sweep(args.current)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"::warning::cannot read current perf artifact: {error}")
+        return 1
+
+    common = sorted(set(previous) & set(current))
+    if not common:
+        print("No common sweep points between previous and current runs.")
+        return 0
+
+    print("### bench_perf_round vs previous artifact")
+    print()
+    print("| clients | stage | previous s | current s | change |")
+    print("|--------:|-------|-----------:|----------:|-------:|")
+    regressions = []
+    for clients in common:
+        for stage in WATCHED_STAGES:
+            prev = previous[clients].get(stage)
+            curr = current[clients].get(stage)
+            if not prev or curr is None:
+                continue
+            change = (curr - prev) / prev
+            print(f"| {clients} | {stage} | {prev:.4f} | {curr:.4f} "
+                  f"| {change:+.1%} |")
+            if clients == common[-1] and change > args.threshold:
+                regressions.append((clients, stage, change))
+    print()
+
+    for clients, stage, change in regressions:
+        print(f"::warning::seconds.{stage} at {clients} clients regressed "
+              f"{change:+.1%} (> {args.threshold:.0%} threshold) vs the "
+              f"previous artifact")
+    if regressions and args.fail_on_regression:
+        return 2
+    if not regressions:
+        largest = common[-1]
+        print(f"No stage regression above {args.threshold:.0%} at "
+              f"{largest} clients.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,8 @@ FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
       clients_(std::move(clients)),
       test_set_(std::move(test_set)),
       config_(config),
+      trainer_(fl::LocalTrainer::Options{
+          .batched = config.fl.batched_training}),
       aggregator_(config.aggregator ? config.aggregator
                                     : make_aggregator("simple")),
       consensus_(make_consensus(
@@ -102,9 +104,8 @@ BflRoundRecord FairBfl::run_round() {
     std::vector<fl::GradientUpdate> updates;
     {
         const StageStopwatch watch(record.wall.local);
-        updates = fl::run_local_updates(clients_, selected, weights_,
-                                        config_.fl.sgd, round,
-                                        config_.fl.seed);
+        updates = trainer_.run(clients_, selected, weights_, config_.fl.sgd,
+                               round, config_.fl.seed);
     }
     std::vector<std::size_t> steps;
     steps.reserve(selected.size());

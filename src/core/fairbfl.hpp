@@ -28,6 +28,7 @@
 #include "core/delay_model.hpp"
 #include "core/strategies.hpp"
 #include "fl/fedavg.hpp"
+#include "fl/local_trainer.hpp"
 #include "incentive/contribution.hpp"
 #include "incentive/reward.hpp"
 
@@ -126,6 +127,9 @@ private:
     std::vector<fl::Client> clients_;
     ml::DatasetView test_set_;
     FairBflConfig config_;
+    /// Procedure-I engine (per-client pack/workspace caches; engine choice
+    /// comes from config.fl.batched_training).
+    fl::LocalTrainer trainer_;
     /// Resolved strategy objects (config overrides or defaults).
     std::shared_ptr<const Aggregator> aggregator_;
     std::shared_ptr<const ConsensusEngine> consensus_;

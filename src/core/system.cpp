@@ -362,10 +362,12 @@ std::vector<SystemRun> run_suite(const Environment& env,
                                  support::ThreadPool& pool,
                                  const SystemRegistry& registry) {
     std::vector<SystemRun> results(specs.size());
-    // A degenerate suite gains nothing from the pool; running it serially
-    // keeps the systems' own client-level parallel_for alive (a pool task
-    // would force it inline -- see ThreadPool::run on nesting).  Larger
-    // suites trade that inner parallelism for system-level concurrency.
+    // A degenerate suite gains nothing from forking: run it serially.  A
+    // real suite forks one task per worker; each system's inner
+    // parallel_for then fans out across whichever workers are idle (the
+    // work-stealing scheduler composes under nesting -- see
+    // ThreadPool::run), so suite- and client-level parallelism share the
+    // same pool.
     if (specs.size() <= 1 || pool.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
             results[i] = run_system(env, specs[i], registry);

@@ -12,6 +12,8 @@ VanillaBfl::VanillaBfl(const ml::Model& model, std::vector<fl::Client> clients,
       clients_(std::move(clients)),
       test_set_(std::move(test_set)),
       config_(config),
+      trainer_(fl::LocalTrainer::Options{
+          .batched = config.fl.batched_training}),
       consensus_(make_consensus("async_pow")),
       keys_(config.fl.seed, config.key_bits),
       chain_(config.chain_id, config.key_bits != 0 ? &keys_ : nullptr),
@@ -62,9 +64,8 @@ VanillaRoundRecord VanillaBfl::run_round() {
     const auto selected = fl::sample_clients(
         clients_.size(), config_.fl.client_ratio, round, config_.fl.seed);
     record.fl.selected = selected.size();
-    auto updates = fl::run_local_updates(clients_, selected, weights_,
-                                         config_.fl.sgd, round,
-                                         config_.fl.seed);
+    auto updates = trainer_.run(clients_, selected, weights_,
+                                config_.fl.sgd, round, config_.fl.seed);
     std::vector<std::size_t> steps;
     steps.reserve(selected.size());
     for (const std::size_t id : selected) steps.push_back(batch_steps_of(id));

@@ -27,6 +27,7 @@
 #include "core/delay_model.hpp"
 #include "core/strategies.hpp"
 #include "fl/fedavg.hpp"
+#include "fl/local_trainer.hpp"
 
 namespace fairbfl::core {
 
@@ -78,6 +79,8 @@ private:
     std::vector<fl::Client> clients_;
     ml::DatasetView test_set_;
     VanillaBflConfig config_;
+    /// Procedure-I engine (per-client pack/workspace caches).
+    fl::LocalTrainer trainer_;
     /// Always the forking discipline: vanilla BFL has no Assumption 1.
     std::shared_ptr<const ConsensusEngine> consensus_;
     crypto::KeyStore keys_;

@@ -6,6 +6,17 @@ GradientUpdate Client::local_update(std::span<const float> global_weights,
                                     const ml::SgdParams& sgd,
                                     std::uint64_t round,
                                     std::uint64_t root_seed) const {
+    ml::TrainWorkspace ws;
+    return local_update(global_weights, sgd, round, root_seed, ws,
+                        /*pack=*/nullptr);
+}
+
+GradientUpdate Client::local_update(std::span<const float> global_weights,
+                                    const ml::SgdParams& sgd,
+                                    std::uint64_t round,
+                                    std::uint64_t root_seed,
+                                    ml::TrainWorkspace& ws,
+                                    const ml::PackedBatch* pack) const {
     GradientUpdate update;
     update.client = id_;
     update.round = round;
@@ -13,9 +24,13 @@ GradientUpdate Client::local_update(std::span<const float> global_weights,
     update.weights.assign(global_weights.begin(), global_weights.end());
 
     auto rng = support::Rng::fork(root_seed, /*stream=*/id_, round);
-    const ml::SgdResult result = sgd_train(
-        *model_, update.weights, shard_, sgd, rng,
-        /*anchor=*/sgd.prox_mu > 0.0 ? global_weights : std::span<const float>{});
+    const auto anchor = sgd.prox_mu > 0.0 ? global_weights
+                                          : std::span<const float>{};
+    const ml::SgdResult result =
+        pack != nullptr
+            ? sgd_train(*model_, update.weights, *pack, sgd, rng, ws, anchor)
+            : sgd_train(*model_, update.weights, shard_, sgd, rng, ws,
+                        anchor);
     update.local_loss = result.final_loss;
     return update;
 }

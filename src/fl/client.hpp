@@ -35,6 +35,15 @@ public:
         std::span<const float> global_weights, const ml::SgdParams& sgd,
         std::uint64_t round, std::uint64_t root_seed) const;
 
+    /// Engine variant: same update bit-for-bit, but scratch comes from
+    /// `ws` and, when `pack` is non-null (it must hold this client's
+    /// shard), SGD runs on the batched kernels over the packed rows.
+    /// fl::LocalTrainer owns the per-client ws/pack caches and calls this.
+    [[nodiscard]] GradientUpdate local_update(
+        std::span<const float> global_weights, const ml::SgdParams& sgd,
+        std::uint64_t round, std::uint64_t root_seed, ml::TrainWorkspace& ws,
+        const ml::PackedBatch* pack) const;
+
     /// Client-side validation accuracy of a weight vector on the local
     /// shard (the acc_i of the paper's "average accuracy" metric).
     [[nodiscard]] double local_accuracy(std::span<const float> weights) const {

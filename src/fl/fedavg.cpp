@@ -7,12 +7,8 @@ std::vector<GradientUpdate> run_local_updates(
     const std::vector<std::size_t>& selected,
     std::span<const float> global_weights, const ml::SgdParams& sgd,
     std::uint64_t round, std::uint64_t seed) {
-    std::vector<GradientUpdate> updates(selected.size());
-    support::parallel_for(0, selected.size(), [&](std::size_t slot) {
-        updates[slot] = clients[selected[slot]].local_update(
-            global_weights, sgd, round, seed);
-    });
-    return updates;
+    LocalTrainer trainer;
+    return trainer.run(clients, selected, global_weights, sgd, round, seed);
 }
 
 FedAvg::FedAvg(const ml::Model& model, std::vector<Client> clients,
@@ -21,6 +17,7 @@ FedAvg::FedAvg(const ml::Model& model, std::vector<Client> clients,
       clients_(std::move(clients)),
       test_set_(std::move(test_set)),
       config_(config),
+      trainer_(LocalTrainer::Options{.batched = config.batched_training}),
       weights_(model.param_count(), 0.0F) {
     auto rng = support::Rng::fork(config_.seed, /*stream=*/0x1417);
     model_->init_params(weights_, rng);
@@ -31,8 +28,8 @@ RoundRecord FedAvg::run_round() {
     const auto selected = sample_clients(clients_.size(),
                                          config_.client_ratio, round,
                                          config_.seed);
-    const auto updates = run_local_updates(clients_, selected, weights_,
-                                           config_.sgd, round, config_.seed);
+    const auto updates = trainer_.run(clients_, selected, weights_,
+                                      config_.sgd, round, config_.seed);
     weights_ = simple_average(updates);
 
     RoundRecord record;

@@ -7,6 +7,7 @@
 
 #include "fl/aggregation.hpp"
 #include "fl/client.hpp"
+#include "fl/local_trainer.hpp"
 #include "fl/sampling.hpp"
 #include "ml/model.hpp"
 #include "support/parallel.hpp"
@@ -18,6 +19,11 @@ struct FlConfig {
     std::size_t rounds = 100;
     ml::SgdParams sgd;          ///< eta=0.01, E=5, B=10 paper defaults
     std::uint64_t seed = 42;
+    /// Procedure-I engine selection (fl::LocalTrainer): batched kernels
+    /// over packed shards, or the per-sample reference path.  Results are
+    /// bit-identical either way; the switch exists for A/B benchmarking
+    /// and as the equivalence oracle.
+    bool batched_training = true;
 };
 
 /// One communication round's outcome.
@@ -33,8 +39,10 @@ struct RoundRecord {
 };
 
 /// Runs the selected clients' local updates in parallel and returns their
-/// gradient updates in client-id order.  Shared by every trainer (FedAvg,
-/// FedProx, and the BFL cores).
+/// gradient updates in selection order.  Convenience wrapper over a
+/// transient fl::LocalTrainer; systems that run many rounds (FedAvg,
+/// FedProx, the BFL cores) own a persistent trainer instead so the
+/// per-client pack/workspace caches survive across rounds.
 [[nodiscard]] std::vector<GradientUpdate> run_local_updates(
     const std::vector<Client>& clients,
     const std::vector<std::size_t>& selected,
@@ -68,6 +76,7 @@ private:
     std::vector<Client> clients_;
     ml::DatasetView test_set_;
     FlConfig config_;
+    LocalTrainer trainer_;
     std::vector<float> weights_;
     std::uint64_t round_ = 0;
 };

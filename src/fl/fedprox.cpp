@@ -11,6 +11,7 @@ FedProx::FedProx(const ml::Model& model, std::vector<Client> clients,
       clients_(std::move(clients)),
       test_set_(std::move(test_set)),
       config_(config),
+      trainer_(LocalTrainer::Options{.batched = config.base.batched_training}),
       weights_(model.param_count(), 0.0F) {
     config_.base.sgd.prox_mu = config_.prox_mu;
     auto rng = support::Rng::fork(config_.base.seed, /*stream=*/0x1417);
@@ -41,16 +42,16 @@ RoundRecord FedProx::run_round() {
         stragglers.pop_back();
     }
 
-    auto updates = run_local_updates(clients_, full_work, weights_, base.sgd,
-                                     round, base.seed);
+    auto updates = trainer_.run(clients_, full_work, weights_, base.sgd,
+                                round, base.seed);
     if (config_.keep_partial_work && !stragglers.empty()) {
         ml::SgdParams partial = base.sgd;
         partial.epochs = std::max<std::size_t>(
             1, static_cast<std::size_t>(
                    std::floor(config_.straggler_epoch_fraction *
                               static_cast<double>(base.sgd.epochs))));
-        auto partial_updates = run_local_updates(
-            clients_, stragglers, weights_, partial, round, base.seed);
+        auto partial_updates = trainer_.run(clients_, stragglers, weights_,
+                                            partial, round, base.seed);
         updates.insert(updates.end(),
                        std::make_move_iterator(partial_updates.begin()),
                        std::make_move_iterator(partial_updates.end()));

@@ -49,6 +49,7 @@ private:
     std::vector<Client> clients_;
     ml::DatasetView test_set_;
     FedProxConfig config_;
+    LocalTrainer trainer_;
     std::vector<float> weights_;
     std::uint64_t round_ = 0;
     std::size_t total_dropped_ = 0;

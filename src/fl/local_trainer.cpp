@@ -1,0 +1,37 @@
+#include "fl/local_trainer.hpp"
+
+namespace fairbfl::fl {
+
+std::vector<GradientUpdate> LocalTrainer::run(
+    const std::vector<Client>& clients,
+    const std::vector<std::size_t>& selected,
+    std::span<const float> global_weights, const ml::SgdParams& sgd,
+    std::uint64_t round, std::uint64_t root_seed) {
+    if (cache_.size() < clients.size()) cache_.resize(clients.size());
+
+    std::vector<GradientUpdate> updates(selected.size());
+    support::ThreadPool& pool =
+        options_.pool != nullptr ? *options_.pool
+                                 : support::ThreadPool::global();
+    support::parallel_for(
+        0, selected.size(),
+        [&](std::size_t slot) {
+            const std::size_t id = selected[slot];
+            const Client& client = clients[id];
+            ClientCache& cache = cache_[id];
+            const ml::PackedBatch* pack = nullptr;
+            if (options_.batched && !client.shard().empty()) {
+                // Pack once; shards are stable across rounds, so this is
+                // a first-round cost only.
+                if (!cache.pack.packed_from(client.shard()))
+                    cache.pack.pack(client.shard());
+                pack = &cache.pack;
+            }
+            updates[slot] = client.local_update(global_weights, sgd, round,
+                                                root_seed, cache.ws, pack);
+        },
+        pool);
+    return updates;
+}
+
+}  // namespace fairbfl::fl

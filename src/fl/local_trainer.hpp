@@ -1,0 +1,62 @@
+#pragma once
+// The Procedure-I engine: one object per system that drives the selected
+// clients' local SGD (Algorithm 1 lines 6-11) through the thread pool on
+// the batched ml kernels.
+//
+// The trainer owns, per client, a PackedBatch (the shard gathered once
+// into contiguous rows -- shards never change across rounds) and a
+// TrainWorkspace (all SGD scratch), so the steady-state round performs
+// zero heap allocation in the hot loop and streams cache-resident packed
+// features instead of chasing shard indices through the full dataset.
+//
+// Determinism: every client draws only from Rng::fork(root_seed, id,
+// round), and the batched kernels are bit-identical to the per-sample
+// reference path (pinned in tests/test_train_engine.cpp), so parallel
+// order -- and the engine choice itself -- never changes results.
+
+#include <span>
+#include <vector>
+
+#include "fl/client.hpp"
+#include "support/parallel.hpp"
+
+namespace fairbfl::fl {
+
+class LocalTrainer {
+public:
+    struct Options {
+        /// Batched kernels over packed shards.  Off = the per-sample
+        /// reference path (kept as the equivalence oracle); results are
+        /// identical either way.
+        bool batched = true;
+        /// Pool for the client fan-out; null = ThreadPool::global().
+        support::ThreadPool* pool = nullptr;
+    };
+
+    LocalTrainer() noexcept : LocalTrainer(Options{}) {}
+    explicit LocalTrainer(Options options) noexcept : options_(options) {}
+
+    /// Runs the selected clients' local updates in parallel and returns
+    /// them in selection order.  Bit-identical to fl::run_local_updates.
+    [[nodiscard]] std::vector<GradientUpdate> run(
+        const std::vector<Client>& clients,
+        const std::vector<std::size_t>& selected,
+        std::span<const float> global_weights, const ml::SgdParams& sgd,
+        std::uint64_t round, std::uint64_t root_seed);
+
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+private:
+    /// Per-client caches, indexed by client id.  Distinct clients are
+    /// touched by distinct parallel iterations, so no locking is needed;
+    /// the vector is sized before the fan-out.
+    struct ClientCache {
+        ml::PackedBatch pack;
+        ml::TrainWorkspace ws;
+    };
+
+    Options options_;
+    std::vector<ClientCache> cache_;
+};
+
+}  // namespace fairbfl::fl

@@ -40,9 +40,18 @@ public:
     double loss_and_gradient(std::span<const float> params,
                              const DatasetView& batch,
                              std::span<float> grad) const override {
+        TrainWorkspace ws;
+        return loss_and_gradient(params, batch, ws, grad);
+    }
+
+    /// Reference per-sample path, scratch from the workspace.  This is the
+    /// oracle the batched kernel is pinned against.
+    double loss_and_gradient(std::span<const float> params,
+                             const DatasetView& batch, TrainWorkspace& ws,
+                             std::span<float> grad) const override {
         if (batch.empty()) return 0.0;
-        std::vector<float> logits(classes_);
-        std::vector<float> dlogits(classes_);
+        const auto logits = TrainWorkspace::ensure(ws.logits, classes_);
+        const auto dlogits = TrainWorkspace::ensure(ws.dlogits, classes_);
         const float inv_n = 1.0F / static_cast<float>(batch.size());
         double loss_sum = 0.0;
         for (std::size_t s = 0; s < batch.size(); ++s) {
@@ -59,6 +68,39 @@ public:
         }
         double loss = loss_sum / static_cast<double>(batch.size());
         loss += apply_l2(params, grad);
+        return loss;
+    }
+
+    /// Batched path: blocked X·Wᵀ forward (support::gemv) and dlogitsᵀ·X
+    /// outer-accumulate backward over packed rows.  Per-sample accumulation
+    /// order matches the reference loop, so results are bit-identical.
+    double loss_and_gradient_batch(std::span<const float> params,
+                                   const PackedBatch& data,
+                                   std::span<const std::size_t> rows,
+                                   TrainWorkspace& ws,
+                                   std::span<float> grad) const override {
+        if (rows.empty()) return 0.0;
+        const auto logits = TrainWorkspace::ensure(ws.logits, classes_);
+        const auto dlogits = TrainWorkspace::ensure(ws.dlogits, classes_);
+        const auto w = params.first(classes_ * dim_);
+        const auto bias = params.subspan(classes_ * dim_, classes_);
+        const auto grad_w = grad.first(classes_ * dim_);
+        const float inv_n = 1.0F / static_cast<float>(rows.size());
+        double loss_sum = 0.0;
+        for (const std::size_t r : rows) {
+            const auto x = data.row(r);
+            support::gemv(w, classes_, dim_, x, bias, logits);
+            loss_sum += softmax_xent_backward(logits, data.label(r), dlogits);
+            for (std::size_t c = 0; c < classes_; ++c) dlogits[c] *= inv_n;
+            support::outer_accumulate(dlogits, x, classes_, dim_, grad_w);
+            for (std::size_t c = 0; c < classes_; ++c)
+                grad[classes_ * dim_ + c] += dlogits[c];
+        }
+        // The L2 *gradient* is always applied; its full-width loss dot is
+        // skipped when the caller discards the value (ws.want_loss).
+        support::axpy(static_cast<float>(l2_), w, grad_w);
+        double loss = loss_sum / static_cast<double>(rows.size());
+        if (ws.want_loss) loss += 0.5 * l2_ * support::dot(w, w);
         return loss;
     }
 

@@ -44,15 +44,24 @@ public:
     double loss_and_gradient(std::span<const float> params,
                              const DatasetView& batch,
                              std::span<float> grad) const override {
+        TrainWorkspace ws;
+        return loss_and_gradient(params, batch, ws, grad);
+    }
+
+    /// Reference per-sample path, scratch from the workspace.  This is the
+    /// oracle the batched kernel is pinned against.
+    double loss_and_gradient(std::span<const float> params,
+                             const DatasetView& batch, TrainWorkspace& ws,
+                             std::span<float> grad) const override {
         if (batch.empty()) return 0.0;
         const Layout p(*this, params);
         const LayoutMut g(*this, grad);
 
-        std::vector<float> h(hidden_);        // post-ReLU activations
-        std::vector<float> pre(hidden_);      // pre-activations
-        std::vector<float> logits(classes_);
-        std::vector<float> dlogits(classes_);
-        std::vector<float> dh(hidden_);
+        const auto h = TrainWorkspace::ensure(ws.hidden, hidden_);
+        const auto pre = TrainWorkspace::ensure(ws.pre, hidden_);
+        const auto logits = TrainWorkspace::ensure(ws.logits, classes_);
+        const auto dlogits = TrainWorkspace::ensure(ws.dlogits, classes_);
+        const auto dh = TrainWorkspace::ensure(ws.dh, hidden_);
         const float inv_n = 1.0F / static_cast<float>(batch.size());
 
         double loss_sum = 0.0;
@@ -94,6 +103,64 @@ public:
         }
         double loss = loss_sum / static_cast<double>(batch.size());
         loss += apply_l2(params, grad);
+        return loss;
+    }
+
+    /// Batched path: both forward layers run as blocked gemv kernels and
+    /// dh = W2ᵀ·dlogits as the transposed-accumulate kernel, over packed
+    /// rows.  Accumulation order per parameter matches the reference loop,
+    /// so results are bit-identical.
+    double loss_and_gradient_batch(std::span<const float> params,
+                                   const PackedBatch& data,
+                                   std::span<const std::size_t> rows,
+                                   TrainWorkspace& ws,
+                                   std::span<float> grad) const override {
+        if (rows.empty()) return 0.0;
+        const Layout p(*this, params);
+        const LayoutMut g(*this, grad);
+
+        const auto h = TrainWorkspace::ensure(ws.hidden, hidden_);
+        const auto pre = TrainWorkspace::ensure(ws.pre, hidden_);
+        const auto logits = TrainWorkspace::ensure(ws.logits, classes_);
+        const auto dlogits = TrainWorkspace::ensure(ws.dlogits, classes_);
+        const auto dh = TrainWorkspace::ensure(ws.dh, hidden_);
+        const float inv_n = 1.0F / static_cast<float>(rows.size());
+
+        double loss_sum = 0.0;
+        for (const std::size_t r : rows) {
+            const auto x = data.row(r);
+            // Forward: blocked W1·x and W2·h.
+            support::gemv(p.w1, hidden_, dim_, x, p.b1, pre);
+            for (std::size_t j = 0; j < hidden_; ++j)
+                h[j] = pre[j] > 0.0F ? pre[j] : 0.0F;
+            support::gemv(p.w2, classes_, hidden_, h, p.b2, logits);
+            loss_sum += softmax_xent_backward(logits, data.label(r), dlogits);
+            // Backward: head.
+            for (std::size_t c = 0; c < classes_; ++c) {
+                const float gl = dlogits[c] * inv_n;
+                support::axpy(gl, h, g.w2.subspan(c * hidden_, hidden_));
+                g.b2[c] += gl;
+            }
+            // dh = W2^T dlogits, masked by ReLU.
+            support::fill(dh, 0.0F);
+            support::gemv_transpose_accumulate(p.w2, classes_, hidden_,
+                                               dlogits, dh);
+            for (std::size_t j = 0; j < hidden_; ++j)
+                if (pre[j] <= 0.0F) dh[j] = 0.0F;
+            // Input layer.
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                const float gj = dh[j] * inv_n;
+                if (gj != 0.0F)
+                    support::axpy(gj, x, g.w1.subspan(j * dim_, dim_));
+                g.b1[j] += gj;
+            }
+        }
+        // The L2 *gradient* is always applied; the loss-only dots are
+        // skipped when the caller discards the value (ws.want_loss).
+        support::axpy(static_cast<float>(l2_), p.w1, g.w1);
+        support::axpy(static_cast<float>(l2_), p.w2, g.w2);
+        double loss = loss_sum / static_cast<double>(rows.size());
+        if (ws.want_loss) loss += l2_term(params);
         return loss;
     }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "ml/dataset.hpp"
+#include "ml/train_workspace.hpp"
 #include "support/rng.hpp"
 
 namespace fairbfl::ml {
@@ -34,6 +35,30 @@ public:
     virtual double loss_and_gradient(std::span<const float> params,
                                      const DatasetView& batch,
                                      std::span<float> grad) const = 0;
+
+    /// Workspace-reusing variant of loss_and_gradient: identical math and
+    /// accumulation order, but per-call scratch (logits, activations)
+    /// comes from `ws` instead of fresh heap allocations.  The base
+    /// implementation forwards to the allocating overload so external
+    /// models keep working; the built-in models override it.
+    virtual double loss_and_gradient(std::span<const float> params,
+                                     const DatasetView& batch,
+                                     TrainWorkspace& ws,
+                                     std::span<float> grad) const;
+
+    /// Batched kernel: mean loss and accumulated gradient over the samples
+    /// at packed positions `rows` of `data` (in that order), using `ws`
+    /// for scratch.  Contract: bit-identical to calling the per-sample
+    /// loss_and_gradient on the same samples in the same order -- batched
+    /// implementations must preserve per-sample accumulation order inside
+    /// their kernels (see support::gemv / outer_accumulate).  The base
+    /// implementation gathers the rows back into a DatasetView and runs
+    /// the reference path; built-in models override with blocked kernels.
+    virtual double loss_and_gradient_batch(std::span<const float> params,
+                                           const PackedBatch& data,
+                                           std::span<const std::size_t> rows,
+                                           TrainWorkspace& ws,
+                                           std::span<float> grad) const;
 
     /// Mean loss only (no gradient).
     [[nodiscard]] virtual double loss(std::span<const float> params,

@@ -39,6 +39,26 @@ SgdResult sgd_train(const Model& model, std::span<float> params,
                     support::Rng& rng,
                     std::span<const float> anchor = {});
 
+/// Workspace-reusing reference path: identical math and rng consumption,
+/// but `order` / `grad` / model scratch come from `ws` instead of per-call
+/// allocations.  (The parameterless overload above wraps this with a
+/// transient workspace.)
+SgdResult sgd_train(const Model& model, std::span<float> params,
+                    const DatasetView& shard, const SgdParams& sgd,
+                    support::Rng& rng, TrainWorkspace& ws,
+                    std::span<const float> anchor = {});
+
+/// Batched engine: the same SGD over a shard gathered once into a
+/// PackedBatch, driving Model::loss_and_gradient_batch.  Epoch shuffles
+/// permute packed *positions* with the same Fisher-Yates draws the
+/// reference path applies to parent indices, and mini-batches are the same
+/// consecutive slices, so the visited sample sequence -- and therefore
+/// every weight update -- is bit-identical to the reference overloads.
+SgdResult sgd_train(const Model& model, std::span<float> params,
+                    const PackedBatch& shard, const SgdParams& sgd,
+                    support::Rng& rng, TrainWorkspace& ws,
+                    std::span<const float> anchor = {});
+
 /// Theorem 3.1 schedule: eta_r = 2 / (mu (gamma + r)), gamma = max(8 L/mu, E).
 struct DecreasingStepSchedule {
     double mu = 1.0;     ///< strong-convexity constant

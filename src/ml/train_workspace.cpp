@@ -1,0 +1,26 @@
+#include "ml/train_workspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fairbfl::ml {
+
+void PackedBatch::pack(const DatasetView& view) {
+    parent_ = &view.parent();
+    dim_ = parent_->feature_dim();
+    indices_ = view.indices();
+    features_.resize(view.size() * dim_);
+    labels_.resize(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        const auto src = view.features_of(i);
+        std::memcpy(features_.data() + i * dim_, src.data(),
+                    dim_ * sizeof(float));
+        labels_[i] = view.label_of(i);
+    }
+}
+
+bool PackedBatch::packed_from(const DatasetView& view) const noexcept {
+    return parent_ == &view.parent() && indices_ == view.indices();
+}
+
+}  // namespace fairbfl::ml

@@ -2,80 +2,173 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <vector>
 
 namespace fairbfl::support {
 
-namespace {
-/// Depth of pool tasks running on this thread.  Non-zero means a nested
-/// ThreadPool::run must degrade to inline execution: its workers may all
-/// be busy executing the outer run's body (possibly this very frame), so
-/// forking to them could never complete.  Deliberately process-wide, not
-/// per-pool: a task of pool A calling pool B's run() could otherwise
-/// deadlock through a cross-pool wait cycle (A's run_mutex held while B's
-/// tasks block on it), so any in-task run() goes inline.
-thread_local unsigned pool_task_depth = 0;
-
-/// Exception-safe ++/-- around a body invocation.
-struct PoolTaskScope {
-    PoolTaskScope() noexcept { ++pool_task_depth; }
-    ~PoolTaskScope() { --pool_task_depth; }
-    PoolTaskScope(const PoolTaskScope&) = delete;
-    PoolTaskScope& operator=(const PoolTaskScope&) = delete;
-};
-}  // namespace
-
 struct ThreadPool::Impl {
-    std::mutex mutex;
-    /// Serializes whole fork/join cycles from concurrent external callers.
-    std::mutex run_mutex;
-    std::condition_variable cv_work;
-    std::condition_variable cv_done;
-    const std::function<void(unsigned)>* job = nullptr;
-    std::uint64_t epoch = 0;       // bumped per run(); workers wait on it
-    unsigned remaining = 0;        // workers yet to finish current epoch
-    bool shutting_down = false;
-    std::exception_ptr first_error;
+    /// One fork/join cycle: the caller's body plus the join bookkeeping.
+    /// Stack-allocated in run(); tasks never touch it after their
+    /// remaining-decrement, so the caller may destroy it as soon as the
+    /// count hits zero.
+    struct Job {
+        const std::function<void(unsigned)>* body = nullptr;
+        std::atomic<unsigned> remaining{0};
+        std::mutex error_mutex;
+        std::exception_ptr error;
+    };
+
+    struct Task {
+        Job* job = nullptr;
+        unsigned index = 0;
+    };
+
+    /// Per-worker deque: the owner pushes/pops LIFO at the back
+    /// (depth-first, cache-warm for nested forks); thieves take FIFO from
+    /// the front.  Slot 0 is the shared inbox for threads that are not
+    /// workers of this pool (external run() callers, cross-pool tasks).
+    struct WorkQueue {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    std::vector<WorkQueue> queues;
     std::vector<std::thread> workers;
 
-    void worker_loop(unsigned index) {
-        std::uint64_t seen_epoch = 0;
-        for (;;) {
-            const std::function<void(unsigned)>* my_job = nullptr;
-            {
-                std::unique_lock lock(mutex);
-                cv_work.wait(lock, [&] {
-                    return shutting_down || epoch != seen_epoch;
-                });
-                if (shutting_down) return;
-                seen_epoch = epoch;
-                my_job = job;
-            }
-            try {
-                const PoolTaskScope task_scope;
-                (*my_job)(index);
-            } catch (...) {
-                std::lock_guard lock(mutex);
-                if (!first_error) first_error = std::current_exception();
-            }
-            {
-                std::lock_guard lock(mutex);
-                if (--remaining == 0) cv_done.notify_all();
-            }
+    /// Sleep/wake coordination.  `pending` counts tasks sitting in queues
+    /// (not yet claimed); notifications happen under `sleep_mutex` so a
+    /// waiter's predicate check cannot race a push into a lost wakeup.
+    std::mutex sleep_mutex;
+    std::condition_variable cv;
+    std::atomic<std::size_t> pending{0};
+    bool shutting_down = false;
+
+    explicit Impl(unsigned n) : queues(n) {}
+
+    void push_tasks(std::size_t queue_index, Job& job, unsigned first_index,
+                    unsigned count) {
+        {
+            std::lock_guard lock(queues[queue_index].mutex);
+            for (unsigned k = 0; k < count; ++k)
+                queues[queue_index].tasks.push_back(
+                    Task{&job, first_index + k});
+        }
+        pending.fetch_add(count);
+        std::lock_guard lock(sleep_mutex);
+        cv.notify_all();
+    }
+
+    bool pop_own(std::size_t self, Task& out) {
+        WorkQueue& q = queues[self];
+        std::lock_guard lock(q.mutex);
+        if (q.tasks.empty()) return false;
+        out = q.tasks.back();
+        q.tasks.pop_back();
+        pending.fetch_sub(1);
+        return true;
+    }
+
+    bool steal(std::size_t self, Task& out) {
+        const std::size_t n = queues.size();
+        for (std::size_t offset = 1; offset <= n; ++offset) {
+            WorkQueue& q = queues[(self + offset) % n];
+            std::lock_guard lock(q.mutex);
+            if (q.tasks.empty()) continue;
+            out = q.tasks.front();
+            q.tasks.pop_front();
+            pending.fetch_sub(1);
+            return true;
+        }
+        return false;
+    }
+
+    void execute(const Task& task) {
+        try {
+            (*task.job->body)(task.index);
+        } catch (...) {
+            std::lock_guard lock(task.job->error_mutex);
+            if (!task.job->error) task.job->error = std::current_exception();
+        }
+        if (task.job->remaining.fetch_sub(1) == 1) {
+            // Last task: wake any joiner.  Touch only pool state from here
+            // on -- the joiner may already be destroying the job.
+            std::lock_guard lock(sleep_mutex);
+            cv.notify_all();
         }
     }
+
+    /// Claims a task with this thread's preferred order: own deque first
+    /// when the thread is one of our workers, otherwise straight to
+    /// stealing (external threads scan from the inbox up).
+    bool claim(Task& out);
+
+    /// Runs tasks until `job` completes, sleeping only when there is
+    /// nothing anywhere to help with -- the no-deadlock invariant: a
+    /// joining thread never blocks while runnable work exists.
+    void join(Job& job) {
+        while (job.remaining.load() > 0) {
+            Task task;
+            if (claim(task)) {
+                execute(task);
+                continue;
+            }
+            std::unique_lock lock(sleep_mutex);
+            cv.wait(lock, [&] {
+                return job.remaining.load() == 0 || pending.load() > 0;
+            });
+        }
+    }
+
+    void worker_loop(unsigned index);
+
+    /// Which pool (if any) the current thread belongs to, and its queue
+    /// slot.  Lets nested forks target the owning worker's deque and
+    /// cross-pool calls fall back to the inbox.
+    struct WorkerId {
+        Impl* impl = nullptr;
+        std::size_t queue_index = 0;
+    };
+    static thread_local WorkerId tl_worker;
 };
 
-ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+thread_local ThreadPool::Impl::WorkerId ThreadPool::Impl::tl_worker;
+
+bool ThreadPool::Impl::claim(Task& out) {
+    if (tl_worker.impl == this)
+        return pop_own(tl_worker.queue_index, out) ||
+               steal(tl_worker.queue_index, out);
+    return steal(queues.size() - 1, out);  // scan starting at the inbox (0)
+}
+
+void ThreadPool::Impl::worker_loop(unsigned index) {
+    tl_worker = WorkerId{this, index};
+    for (;;) {
+        Task task;
+        if (pop_own(index, task) || steal(index, task)) {
+            execute(task);
+            continue;
+        }
+        std::unique_lock lock(sleep_mutex);
+        if (shutting_down) return;
+        if (pending.load() > 0) continue;
+        cv.wait(lock,
+                [&] { return shutting_down || pending.load() > 0; });
+        if (shutting_down) return;
+    }
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
         if (threads == 0) threads = 1;
     }
     n_threads_ = threads;
-    // Worker 0 is the calling thread; spawn the rest.
-    impl_->workers.reserve(threads > 0 ? threads - 1 : 0);
+    impl_ = new Impl(threads);
+    // Queue 0 is the external inbox; workers own queues 1..n-1.
+    impl_->workers.reserve(threads - 1);
     for (unsigned i = 1; i < threads; ++i) {
         impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
     }
@@ -83,45 +176,43 @@ ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(impl_->mutex);
+        std::lock_guard lock(impl_->sleep_mutex);
         impl_->shutting_down = true;
     }
-    impl_->cv_work.notify_all();
+    impl_->cv.notify_all();
     for (auto& t : impl_->workers) t.join();
     delete impl_;
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& body) {
-    if (pool_task_depth > 0) {
-        // Nested parallelism: the pool is (or may be) busy with the outer
-        // run that this thread is part of; execute inline.
+    if (n_threads_ <= 1) {
         body(0);
         return;
     }
 
-    std::lock_guard serialize(impl_->run_mutex);
-    const unsigned helpers = n_threads_ - 1;
-    if (helpers > 0) {
-        std::lock_guard lock(impl_->mutex);
-        impl_->job = &body;
-        impl_->remaining = helpers;
-        impl_->first_error = nullptr;
-        ++impl_->epoch;
-    }
-    if (helpers > 0) impl_->cv_work.notify_all();
+    Impl::Job job;
+    job.body = &body;
+    job.remaining.store(n_threads_ - 1);
+    // Fork indices 1..n-1 as stealable tasks; the caller is index 0.  A
+    // worker forks into its own deque (nested parallelism fans out to idle
+    // workers); any other thread drops the tasks into the shared inbox.
+    const std::size_t target = Impl::tl_worker.impl == impl_
+                                   ? Impl::tl_worker.queue_index
+                                   : 0;
+    impl_->push_tasks(target, job, 1, n_threads_ - 1);
 
     std::exception_ptr caller_error;
     try {
-        const PoolTaskScope task_scope;
         body(0);
     } catch (...) {
         caller_error = std::current_exception();
     }
 
-    if (helpers > 0) {
-        std::unique_lock lock(impl_->mutex);
-        impl_->cv_done.wait(lock, [&] { return impl_->remaining == 0; });
-        if (!caller_error) caller_error = impl_->first_error;
+    impl_->join(job);
+    if (!caller_error) {
+        // No lock needed: join() observed remaining == 0, which the last
+        // task published after any error store.
+        caller_error = job.error;
     }
     if (caller_error) std::rethrow_exception(caller_error);
 }

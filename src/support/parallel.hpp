@@ -13,10 +13,13 @@
 
 namespace fairbfl::support {
 
-/// A fixed-size pool of worker threads with a fork/join `run` primitive.
-/// Construction spawns the workers once; destruction joins them.  The pool
-/// is intentionally tiny: the simulator needs fork/join data parallelism,
-/// not a general task graph.
+/// A fixed-size pool of worker threads with a fork/join `run` primitive on
+/// top of a work-stealing scheduler.  Construction spawns the workers
+/// once; destruction joins them.  Each worker owns a deque: it pushes and
+/// pops its own work LIFO (depth-first, cache-warm) while idle workers
+/// steal FIFO from the other end, so a fork made from *inside* a pool task
+/// -- nested parallelism -- fans out to whichever workers are free instead
+/// of degrading to the calling thread.
 class ThreadPool {
 public:
     /// `threads == 0` selects std::thread::hardware_concurrency().
@@ -28,22 +31,25 @@ public:
 
     [[nodiscard]] unsigned size() const noexcept { return n_threads_; }
 
-    /// Runs body(worker_index) on every worker (and the calling thread as
-    /// worker 0 when the pool has one thread), returning when all complete.
+    /// Forks body(i) for every index i in [0, size()) -- the caller
+    /// executes body(0) itself -- and joins, returning when all complete.
     /// Exceptions thrown by `body` are rethrown on the caller (first one
     /// wins).
     ///
-    /// Safe under concurrency: calls from multiple threads serialize on an
-    /// internal mutex (core::run_suite workers may each fan out), and a
-    /// call made from inside a pool task -- nested parallelism -- degrades
-    /// to running the body inline on the caller instead of deadlocking on
-    /// its own busy workers.
+    /// Safe under concurrency: concurrent external callers' forks simply
+    /// interleave in the deques, and a call made from inside a pool task
+    /// (a core::run_suite worker fanning out an inner parallel_for, or a
+    /// task of *another* pool) enqueues real subtasks that idle workers
+    /// steal -- no inline degradation, no deadlock: while joining, the
+    /// forking thread executes pending tasks itself instead of blocking,
+    /// so every wait makes progress.
     ///
-    /// Contract: because of that inline degradation (which invokes
-    /// body(0) exactly once, and conservatively applies to a task of
-    /// *any* pool to rule out cross-pool deadlocks), bodies must be
-    /// index-agnostic -- pull work dynamically (as parallel_for does)
-    /// rather than statically partitioning by worker index.
+    /// Contract: each index is invoked exactly once, but index->thread
+    /// placement is scheduling-dependent (a single thread may execute
+    /// several indices).  Bodies must therefore be index-agnostic -- pull
+    /// work dynamically (as parallel_for does) rather than statically
+    /// partitioning by worker index -- and must not rely on thread
+    /// identity for mutual exclusion.
     void run(const std::function<void(unsigned)>& body);
 
     /// Shared process-wide pool (lazily constructed).

@@ -110,6 +110,124 @@ double squared_distance_blocked(std::span<const float> x,
     return acc;
 }
 
+void gemv(std::span<const float> a, std::size_t rows, std::size_t cols,
+          std::span<const float> x, std::span<const float> bias,
+          std::span<float> out) noexcept {
+    assert(a.size() == rows * cols);
+    assert(x.size() == cols);
+    assert(out.size() >= rows);
+    assert(bias.empty() || bias.size() >= rows);
+    const float* base = a.data();
+    const float* xp = x.data();
+    std::size_t r = 0;
+    // Four rows at a time: four independent left-to-right double chains
+    // hide the FP-add latency that serializes a single `dot`.  The inner
+    // loop is unrolled by two columns; each chain still receives its
+    // products strictly in column order, so every row is bit-identical to
+    // a lone `dot`.
+    for (; r + 4 <= rows; r += 4) {
+        const float* a0 = base + r * cols;
+        const float* a1 = a0 + cols;
+        const float* a2 = a1 + cols;
+        const float* a3 = a2 + cols;
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        std::size_t j = 0;
+        for (; j + 2 <= cols; j += 2) {
+            const double x0 = static_cast<double>(xp[j]);
+            const double x1 = static_cast<double>(xp[j + 1]);
+            s0 += static_cast<double>(a0[j]) * x0;
+            s0 += static_cast<double>(a0[j + 1]) * x1;
+            s1 += static_cast<double>(a1[j]) * x0;
+            s1 += static_cast<double>(a1[j + 1]) * x1;
+            s2 += static_cast<double>(a2[j]) * x0;
+            s2 += static_cast<double>(a2[j + 1]) * x1;
+            s3 += static_cast<double>(a3[j]) * x0;
+            s3 += static_cast<double>(a3[j + 1]) * x1;
+        }
+        for (; j < cols; ++j) {
+            const double xj = static_cast<double>(xp[j]);
+            s0 += static_cast<double>(a0[j]) * xj;
+            s1 += static_cast<double>(a1[j]) * xj;
+            s2 += static_cast<double>(a2[j]) * xj;
+            s3 += static_cast<double>(a3[j]) * xj;
+        }
+        if (bias.empty()) {
+            out[r] = static_cast<float>(s0);
+            out[r + 1] = static_cast<float>(s1);
+            out[r + 2] = static_cast<float>(s2);
+            out[r + 3] = static_cast<float>(s3);
+        } else {
+            out[r] = bias[r] + static_cast<float>(s0);
+            out[r + 1] = bias[r + 1] + static_cast<float>(s1);
+            out[r + 2] = bias[r + 2] + static_cast<float>(s2);
+            out[r + 3] = bias[r + 3] + static_cast<float>(s3);
+        }
+    }
+    if (r + 2 <= rows) {
+        // Two-row tail block: still two interleaved chains instead of
+        // falling back to the latency-bound single dot.
+        const float* a0 = base + r * cols;
+        const float* a1 = a0 + cols;
+        double s0 = 0.0, s1 = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double xj = static_cast<double>(xp[j]);
+            s0 += static_cast<double>(a0[j]) * xj;
+            s1 += static_cast<double>(a1[j]) * xj;
+        }
+        if (bias.empty()) {
+            out[r] = static_cast<float>(s0);
+            out[r + 1] = static_cast<float>(s1);
+        } else {
+            out[r] = bias[r] + static_cast<float>(s0);
+            out[r + 1] = bias[r + 1] + static_cast<float>(s1);
+        }
+        r += 2;
+    }
+    if (r < rows) {
+        const double s = dot(a.subspan(r * cols, cols), x);
+        out[r] = bias.empty() ? static_cast<float>(s)
+                              : bias[r] + static_cast<float>(s);
+    }
+}
+
+void gemv_transpose_accumulate(std::span<const float> a, std::size_t rows,
+                               std::size_t cols, std::span<const float> d,
+                               std::span<float> out) noexcept {
+    assert(a.size() == rows * cols);
+    assert(d.size() >= rows);
+    assert(out.size() >= cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float dr = d[r];
+        const float* row = a.data() + r * cols;
+        for (std::size_t j = 0; j < cols; ++j) out[j] += dr * row[j];
+    }
+}
+
+void outer_accumulate(std::span<const float> d, std::span<const float> x,
+                      std::size_t rows, std::size_t cols,
+                      std::span<float> y) noexcept {
+    assert(d.size() >= rows);
+    assert(x.size() == cols);
+    assert(y.size() == rows * cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        axpy(d[r], x, y.subspan(r * cols, cols));
+}
+
+void add_scaled_diff(float alpha, std::span<const float> x,
+                     std::span<const float> z, std::span<float> y) noexcept {
+    assert(x.size() == y.size());
+    assert(z.size() == y.size());
+    const std::size_t n = y.size();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        y[i] += alpha * (x[i] - z[i]);
+        y[i + 1] += alpha * (x[i + 1] - z[i + 1]);
+        y[i + 2] += alpha * (x[i + 2] - z[i + 2]);
+        y[i + 3] += alpha * (x[i + 3] - z[i + 3]);
+    }
+    for (; i < n; ++i) y[i] += alpha * (x[i] - z[i]);
+}
+
 double cosine_distance(std::span<const float> x,
                        std::span<const float> y) noexcept {
     return cosine_distance_cached(x, y, norm2(x), norm2(y));

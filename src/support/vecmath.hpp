@@ -56,6 +56,41 @@ void fill(std::span<float> x, float value) noexcept;
 [[nodiscard]] double squared_distance_blocked(
     std::span<const float> x, std::span<const float> y) noexcept;
 
+/// Dense row-major matrix-vector product: out[r] = bias[r] + dot(row r of
+/// a, x) for r in [0, rows), where `a` is rows x cols.  This is the
+/// forward X·Wᵀ building block of the batched training kernels.  Each
+/// row's accumulation is a strict left-to-right double chain -- exactly
+/// `dot` -- and rows are independent, so processing four rows at once only
+/// adds instruction-level parallelism: the result is bit-identical to
+/// calling `dot` per row (training-safe, unlike dot_blocked).  When `bias`
+/// is empty the cast double sum is written without the float add, matching
+/// a biasless caller bit-for-bit (including the sign of zero).
+void gemv(std::span<const float> a, std::size_t rows, std::size_t cols,
+          std::span<const float> x, std::span<const float> bias,
+          std::span<float> out) noexcept;
+
+/// Transposed accumulate: out[j] += sum_r d[r] * a[r * cols + j] (Aᵀd),
+/// the r-sum applied in order per element.  Used for the MLP's
+/// dh = W2ᵀ·dlogits.  Float accumulation, elementwise over j, so the adds
+/// land on each out[j] in exactly the reference loop's order.
+void gemv_transpose_accumulate(std::span<const float> a, std::size_t rows,
+                               std::size_t cols, std::span<const float> d,
+                               std::span<float> out) noexcept;
+
+/// Rank-1 outer-product accumulate: row r of y += d[r] * x for r in
+/// [0, rows), where y is rows x cols.  The backward dlogitsᵀ·X building
+/// block; per row it is exactly `axpy(d[r], x, row)`, so per-element
+/// accumulation order is untouched.
+void outer_accumulate(std::span<const float> d, std::span<const float> x,
+                      std::size_t rows, std::size_t cols,
+                      std::span<float> y) noexcept;
+
+/// y[i] += alpha * (x[i] - z[i]): the FedProx proximal pull
+/// grad += mu_prox (w - anchor), fused to one pass.  Elementwise and
+/// bit-identical to the scalar loop.
+void add_scaled_diff(float alpha, std::span<const float> x,
+                     std::span<const float> z, std::span<float> y) noexcept;
+
 /// Cosine *distance* 1 - cos(x, y) in [0, 2].  This is the theta of the
 /// paper's Algorithm 2 ("the larger the theta, the farther the distance").
 /// Zero vectors are treated as maximally distant (distance 1).

@@ -1,0 +1,167 @@
+// Work-stealing scheduler stress: nested fan-out, concurrent run_suite-style
+// callers, cross-pool nesting, exception propagation through nested forks.
+//
+// Built both in the regular suite and under -fsanitize=thread (the CI tsan
+// job), so keep every assertion data-race-free: shared state is atomic or
+// joined before reads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+namespace {
+
+using fairbfl::support::parallel_chunks;
+using fairbfl::support::parallel_for;
+using fairbfl::support::ThreadPool;
+
+TEST(WorkStealing, NestedParallelForUsesMultipleWorkers) {
+    // The acceptance criterion for the scheduler refactor: an inner
+    // parallel_for issued from inside a pool task must fan out to idle
+    // workers instead of running inline on the forking thread.  Inner
+    // iterations sleep so any other worker has ample time to steal; a few
+    // attempts absorb scheduler noise on single-core machines.
+    ThreadPool pool(4);
+    bool multi_worker_seen = false;
+    for (int attempt = 0; attempt < 3 && !multi_worker_seen; ++attempt) {
+        std::set<std::thread::id> inner_threads;
+        std::mutex mutex;
+        pool.run([&](unsigned worker) {
+            if (worker != 0) return;  // leave three workers idle
+            parallel_for(0, 48, [&](std::size_t) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                const std::lock_guard lock(mutex);
+                inner_threads.insert(std::this_thread::get_id());
+            }, pool);
+        });
+        multi_worker_seen = inner_threads.size() >= 2;
+    }
+    EXPECT_TRUE(multi_worker_seen)
+        << "nested parallel_for never left the forking thread";
+}
+
+TEST(WorkStealing, ConcurrentSuitesWithNestedLoopsComplete) {
+    // run_suite's shape: pool workers pull "systems" off a shared counter,
+    // and each system runs its own inner parallel_for on the same pool.
+    // The old scheduler forced every inner loop inline; the new one must
+    // interleave all of it without deadlock and without losing iterations.
+    ThreadPool pool(4);
+    constexpr std::size_t kSystems = 12;
+    constexpr std::size_t kItems = 500;
+
+    for (int repeat = 0; repeat < 5; ++repeat) {
+        std::vector<std::atomic<std::uint64_t>> sums(kSystems);
+        std::atomic<std::size_t> next{0};
+        pool.run([&](unsigned) {
+            for (;;) {
+                const std::size_t system = next.fetch_add(1);
+                if (system >= kSystems) return;
+                parallel_for(0, kItems, [&](std::size_t i) {
+                    sums[system].fetch_add(i + 1);
+                }, pool);
+            }
+        });
+        for (std::size_t s = 0; s < kSystems; ++s)
+            ASSERT_EQ(sums[s].load(), kItems * (kItems + 1) / 2)
+                << "repeat " << repeat << " system " << s;
+    }
+}
+
+TEST(WorkStealing, ConcurrentExternalCallersShareOnePool) {
+    // Multiple non-worker threads forking into the same pool at once: the
+    // old implementation serialized whole fork/join cycles on a mutex; the
+    // new one interleaves tasks.  Every caller must still see its own loop
+    // complete exactly.
+    ThreadPool pool(4);
+    constexpr std::size_t kCallers = 6;
+    constexpr std::size_t kItems = 400;
+    std::vector<std::uint64_t> sums(kCallers, 0);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            std::atomic<std::uint64_t> sum{0};
+            parallel_for(0, kItems, [&](std::size_t i) {
+                sum.fetch_add(i * i);
+            }, pool);
+            sums[c] = sum.load();
+        });
+    }
+    for (auto& t : callers) t.join();
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < kItems; ++i) expected += i * i;
+    for (std::size_t c = 0; c < kCallers; ++c)
+        EXPECT_EQ(sums[c], expected) << "caller " << c;
+}
+
+TEST(WorkStealing, NestedChunksInsideConcurrentOuterTasks) {
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> covered{0};
+    pool.run([&](unsigned) {
+        parallel_chunks(0, 1000, 64, [&](std::size_t lo, std::size_t hi) {
+            covered.fetch_add(hi - lo);
+        }, pool);
+    });
+    // Each of the three outer bodies covers its full range once.
+    EXPECT_EQ(covered.load(), 3000U);
+}
+
+TEST(WorkStealing, ExceptionFromNestedForkPropagatesThroughOuterRun) {
+    ThreadPool pool(4);
+    std::atomic<int> outer_done{0};
+    EXPECT_THROW(
+        pool.run([&](unsigned worker) {
+            if (worker == 1) {
+                parallel_for(0, 64, [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("inner boom");
+                }, pool);
+            }
+            outer_done.fetch_add(1);
+        }),
+        std::runtime_error);
+    // The pool must stay usable after the failed cycle.
+    std::atomic<int> count{0};
+    pool.run([&](unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 4);
+}
+
+TEST(WorkStealing, CrossPoolNestingCompletes) {
+    // A task of pool A forking into pool B: the old rule degraded this
+    // inline to dodge a cross-pool deadlock; the scheduler now lets B's
+    // idle workers take the tasks while A's forker helps B drain.
+    ThreadPool pool_a(3);
+    ThreadPool pool_b(3);
+    std::atomic<std::uint64_t> total{0};
+    pool_a.run([&](unsigned) {
+        parallel_for(0, 300, [&](std::size_t i) {
+            total.fetch_add(i);
+        }, pool_b);
+    });
+    EXPECT_EQ(total.load(), 3ULL * (299 * 300 / 2));
+}
+
+TEST(WorkStealing, DeepNestingDoesNotDeadlock) {
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> leaves{0};
+    pool.run([&](unsigned) {
+        parallel_for(0, 4, [&](std::size_t) {
+            parallel_for(0, 4, [&](std::size_t) {
+                parallel_for(0, 8, [&](std::size_t) {
+                    leaves.fetch_add(1);
+                }, pool);
+            }, pool);
+        }, pool);
+    });
+    // 4 outer bodies x 4 x 4 x 8 leaves.
+    EXPECT_EQ(leaves.load(), 4U * 4U * 4U * 8U);
+}
+
+}  // namespace

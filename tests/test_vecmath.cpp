@@ -173,6 +173,86 @@ TEST(VecMath, NormsOfMatchesNorm2) {
         EXPECT_EQ(norms[i], vm::norm2(rows[i])) << i;
 }
 
+// --- Training-engine kernels: bit-identity to their scalar references ------
+
+TEST(VecMath, GemvBitIdenticalToPerRowDot) {
+    std::uint32_t state = 11;
+    // Row counts cover the 4-block, the 2-row tail, and the single-row
+    // tail; odd column counts cover the 2-column unroll remainder.
+    for (const std::size_t rows : {1UL, 2UL, 3UL, 4UL, 5UL, 6UL, 7UL, 10UL,
+                                   13UL, 32UL}) {
+        for (const std::size_t cols : {1UL, 2UL, 7UL, 64UL, 783UL}) {
+            const auto a = random_vec(rows * cols, state);
+            const auto x = random_vec(cols, state);
+            const auto bias = random_vec(rows, state);
+            std::vector<float> expect(rows);
+            for (std::size_t r = 0; r < rows; ++r) {
+                expect[r] =
+                    bias[r] +
+                    static_cast<float>(vm::dot(
+                        std::span<const float>(a).subspan(r * cols, cols),
+                        x));
+            }
+            std::vector<float> got(rows);
+            vm::gemv(a, rows, cols, x, bias, got);
+            EXPECT_EQ(got, expect) << rows << "x" << cols;
+
+            // Biasless form: the bare cast double sum.
+            for (std::size_t r = 0; r < rows; ++r) {
+                expect[r] = static_cast<float>(vm::dot(
+                    std::span<const float>(a).subspan(r * cols, cols), x));
+            }
+            vm::gemv(a, rows, cols, x, {}, got);
+            EXPECT_EQ(got, expect) << rows << "x" << cols << " no-bias";
+        }
+    }
+}
+
+TEST(VecMath, GemvTransposeAccumulateBitIdenticalToScalarLoop) {
+    std::uint32_t state = 12;
+    const std::size_t rows = 10, cols = 13;
+    const auto a = random_vec(rows * cols, state);
+    const auto d = random_vec(rows, state);
+
+    std::vector<float> expect(cols, 0.0F);
+    for (std::size_t j = 0; j < cols; ++j) {
+        float acc = 0.0F;
+        for (std::size_t r = 0; r < rows; ++r) acc += d[r] * a[r * cols + j];
+        expect[j] = acc;
+    }
+    std::vector<float> got(cols, 0.0F);
+    vm::gemv_transpose_accumulate(a, rows, cols, d, got);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(VecMath, OuterAccumulateBitIdenticalToPerRowAxpy) {
+    std::uint32_t state = 13;
+    const std::size_t rows = 7, cols = 19;
+    const auto d = random_vec(rows, state);
+    const auto x = random_vec(cols, state);
+    auto expect = random_vec(rows * cols, state);
+    auto got = expect;
+
+    for (std::size_t r = 0; r < rows; ++r)
+        vm::axpy(d[r], x, std::span<float>(expect).subspan(r * cols, cols));
+    vm::outer_accumulate(d, x, rows, cols, got);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(VecMath, AddScaledDiffBitIdenticalToScalarLoop) {
+    std::uint32_t state = 14;
+    for (const std::size_t n : {0UL, 1UL, 3UL, 4UL, 5UL, 17UL, 1023UL}) {
+        const auto x = random_vec(n, state);
+        const auto z = random_vec(n, state);
+        auto expect = random_vec(n, state);
+        auto got = expect;
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] += 0.25F * (x[i] - z[i]);
+        vm::add_scaled_diff(0.25F, x, z, got);
+        EXPECT_EQ(got, expect) << "n=" << n;
+    }
+}
+
 // The parallel determinism contract of the combine kernels: a
 // multi-threaded pool must reproduce the serial accumulation bit-for-bit
 // (each element sums its rows in row order regardless of chunking).
