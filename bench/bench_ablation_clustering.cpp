@@ -8,18 +8,19 @@
 //
 //   ./bench/bench_ablation_clustering [--rounds=10] [--seed=42]
 
+#include <string>
+
 #include "bench_common.hpp"
 
 using namespace fairbfl;
 
 namespace {
 
-// Each case is one ContributionPolicy configuration (clustering algorithm
-// x metric); detection rates come from per-round BflRoundRecords, so the
-// FairBfl class is driven directly.
-double run_case(bool iid, incentive::ClusteringChoice algo,
-                cluster::Metric metric, std::size_t rounds,
-                std::uint64_t seed) {
+// Each case is one ContributionPolicy configuration (clustering registry
+// key x metric); detection rates come from per-round BflRoundRecords, so
+// the FairBfl class is driven directly.
+double run_case(bool iid, const std::string& algo, cluster::Metric metric,
+                std::size_t rounds, std::uint64_t seed) {
     core::EnvironmentConfig env_config;
     env_config.data.samples = 1500;
     env_config.data.seed = seed;
@@ -70,27 +71,23 @@ int main(int argc, char** argv) {
     std::printf("algorithm,metric,noniid_detection,iid_detection\n");
 
     struct Case {
-        const char* algo_name;
-        incentive::ClusteringChoice algo;
+        const char* algo_name;  ///< cluster::ClusteringRegistry key
         const char* metric_name;
         cluster::Metric metric;
     };
     const Case cases[] = {
-        {"dbscan", incentive::ClusteringChoice::kDbscan, "euclidean",
-         cluster::Metric::kEuclidean},
-        {"dbscan", incentive::ClusteringChoice::kDbscan, "cosine",
-         cluster::Metric::kCosine},
-        {"kmeans", incentive::ClusteringChoice::kKMeans, "euclidean",
-         cluster::Metric::kEuclidean},
-        {"kmeans", incentive::ClusteringChoice::kKMeans, "cosine",
-         cluster::Metric::kCosine},
+        {"dbscan", "euclidean", cluster::Metric::kEuclidean},
+        {"dbscan", "cosine", cluster::Metric::kCosine},
+        {"kmeans", "euclidean", cluster::Metric::kEuclidean},
+        {"kmeans", "cosine", cluster::Metric::kCosine},
     };
 
     double best_noniid = 0.0;
     const char* best_name = "";
     for (const auto& c : cases) {
-        const double noniid = run_case(false, c.algo, c.metric, rounds, seed);
-        const double iid = run_case(true, c.algo, c.metric, rounds, seed);
+        const double noniid =
+            run_case(false, c.algo_name, c.metric, rounds, seed);
+        const double iid = run_case(true, c.algo_name, c.metric, rounds, seed);
         std::printf("%s,%s,%.3f,%.3f\n", c.algo_name, c.metric_name, noniid,
                     iid);
         if (noniid > best_noniid) {

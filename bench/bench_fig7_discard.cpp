@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
     // a tight eps isolates them, where the attack-detection default
     // (Euclidean, loose) keys on forged magnitudes instead.
     discard_config.incentive.dbscan.metric = cluster::Metric::kCosine;
-    discard_config.incentive.adaptive_eps_scale = eps_scale_discard;
+    discard_config.incentive.dbscan.adaptive_eps_scale =
+        eps_scale_discard;
 
     const std::array specs{
         core::fairbfl_spec(discard_config, "FAIR-Discard"),

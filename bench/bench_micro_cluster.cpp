@@ -54,6 +54,39 @@ void BM_SuggestEps(benchmark::State& state) {
 }
 BENCHMARK(BM_SuggestEps)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
 
+/// GradientIndex build cost per backend (the dominant term of the round's
+/// cluster stage).  Arg is the point count; dim matches the logistic
+/// model on 64 features.
+template <typename Backend>
+void BM_IndexBuild(benchmark::State& state) {
+    const auto points =
+        gradient_like_points(static_cast<std::size_t>(state.range(0)), 650);
+    cluster::IndexParams params;
+    params.metric = cluster::Metric::kEuclidean;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Backend(points, params));
+}
+template <>
+void BM_IndexBuild<cluster::ExactIndex>(benchmark::State& state) {
+    const auto points =
+        gradient_like_points(static_cast<std::size_t>(state.range(0)), 650);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cluster::ExactIndex(cluster::Metric::kEuclidean, points));
+}
+BENCHMARK(BM_IndexBuild<cluster::ExactIndex>)
+    ->Arg(100)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexBuild<cluster::RandomProjectionIndex>)
+    ->Arg(100)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexBuild<cluster::SampledIndex>)
+    ->Arg(100)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Algorithm2EndToEnd(benchmark::State& state) {
     // Full contribution identification on a round's update set.
     const auto n = static_cast<std::size_t>(state.range(0));

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/index.hpp"
 #include "core/system.hpp"
 #include "support/cli.hpp"
 
@@ -65,11 +66,12 @@ void append_json(std::string& out, const SweepPoint& p) {
         buf, sizeof buf,
         "    {\"clients\": %zu, \"rounds\": %zu,\n"
         "     \"seconds\": {\"local\": %.6f, \"cluster\": %.6f, "
+        "\"index_build\": %.6f, "
         "\"aggregate\": %.6f, \"mine\": %.6f, \"total\": %.6f},\n"
         "     \"run_seconds\": %.6f, \"final_accuracy\": %.4f}",
         p.clients, p.rounds, p.total.local, p.total.cluster,
-        p.total.aggregate, p.total.mine, p.total.total(), p.run_seconds,
-        p.final_accuracy);
+        p.total.index_build, p.total.aggregate, p.total.mine,
+        p.total.total(), p.run_seconds, p.final_accuracy);
     out += buf;
 }
 
@@ -85,6 +87,9 @@ int main(int argc, char** argv) {
             "  --dim=784              feature dimension\n"
             "  --system=fairbfl       registry key to benchmark\n"
             "  --engine=batched       Procedure-I engine: batched|reference\n"
+            "  --index=exact          Algorithm-2 neighborhood backend\n"
+            "                         (auto|exact|lazy|random_projection|\n"
+            "                         sampled)\n"
             "  --seed=42 --miners=2 --out=FILE");
         return 0;
     }
@@ -97,11 +102,18 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     const std::string system = args.get_string("system", "fairbfl");
     const std::string engine = args.get_string("engine", "batched");
+    const std::string index = args.get_string("index", "exact");
     const std::string out_path = args.get_string("out", "");
     if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
     if (engine != "batched" && engine != "reference") {
         std::fprintf(stderr, "bench_perf_round: bad --engine '%s'\n",
                      engine.c_str());
+        return 1;
+    }
+    if (index != "auto" &&
+        !cluster::IndexRegistry::global().contains(index)) {
+        std::fprintf(stderr, "bench_perf_round: bad --index '%s'\n",
+                     index.c_str());
         return 1;
     }
 
@@ -122,6 +134,7 @@ int main(int argc, char** argv) {
         spec.fair.fl.client_ratio = 1.0;  // full round: n+1 clustered points
         spec.fair.fl.seed = seed;
         spec.fair.fl.batched_training = engine == "batched";
+        spec.fair.incentive.index = index;
         spec.fair.miners = miners;
         spec.fl.batched_training = spec.fair.fl.batched_training;
         spec.fedprox.base.batched_training = spec.fair.fl.batched_training;
@@ -139,22 +152,24 @@ int main(int argc, char** argv) {
         for (const auto& p : run.series) {
             point.total.local += p.wall.local;
             point.total.cluster += p.wall.cluster;
+            point.total.index_build += p.wall.index_build;
             point.total.aggregate += p.wall.aggregate;
             point.total.mine += p.wall.mine;
         }
         points.push_back(point);
         std::fprintf(stderr,
-                     "# n=%-4zu local=%.4fs cluster=%.4fs aggregate=%.4fs "
-                     "mine=%.4fs run=%.4fs\n",
+                     "# n=%-4zu local=%.4fs cluster=%.4fs (index=%.4fs) "
+                     "aggregate=%.4fs mine=%.4fs run=%.4fs\n",
                      clients, point.total.local, point.total.cluster,
-                     point.total.aggregate, point.total.mine,
-                     point.run_seconds);
+                     point.total.index_build, point.total.aggregate,
+                     point.total.mine, point.run_seconds);
     }
 
     std::string json;
     json += "{\n  \"bench\": \"bench_perf_round\",\n";
     json += "  \"system\": \"" + system + "\",\n";
     json += "  \"engine\": \"" + engine + "\",\n";
+    json += "  \"index\": \"" + index + "\",\n";
     char header[160];
     std::snprintf(header, sizeof header,
                   "  \"rounds\": %zu,\n  \"feature_dim\": %zu,\n"

@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "cluster/index.hpp"
+
 #include "bench_common.hpp"
 
 using namespace fairbfl;
@@ -31,7 +33,8 @@ std::string ids_to_string(const std::vector<fl::NodeId>& ids) {
 // ContributionPolicy and RewardPolicy strategies of core/strategies.hpp.
 double run_distribution(bool iid, std::size_t rounds, std::uint64_t seed,
                         double eps_scale, double magnitude, bool quiet,
-                        bool euclidean = false) {
+                        bool euclidean = false,
+                        const std::string& index = "exact") {
     core::EnvironmentConfig env_config;
     env_config.data.samples = 1500;
     env_config.data.seed = seed;
@@ -52,13 +55,14 @@ double run_distribution(bool iid, std::size_t rounds, std::uint64_t seed,
     config.attack.magnitude = magnitude;
     config.attack.min_attackers = 1;
     config.attack.max_attackers = 3;
-    config.incentive.adaptive_eps_scale = eps_scale;
+    config.incentive.dbscan.adaptive_eps_scale = eps_scale;
     config.incentive.dbscan.metric =
         euclidean ? fairbfl::cluster::Metric::kEuclidean
                   : fairbfl::cluster::Metric::kCosine;
     // Keep-all so benching never shrinks the attack surface between rounds
     // (Table 2 re-randomizes attackers over all 10 clients each round).
     config.incentive.strategy = incentive::LowContributionStrategy::kKeepAll;
+    config.incentive.index = index;
 
     core::FairBfl system(*env.model, env.make_clients(), env.test, config);
 
@@ -90,7 +94,8 @@ int main(int argc, char** argv) {
     support::CliArgs args(argc, argv);
     if (args.help_requested()) {
         std::puts("bench_table2_attacks: Table 2 attack-detection rates\n"
-                  "flags: --rounds (default 10) --seed");
+                  "flags: --rounds (default 10) --seed --index=exact|\n"
+                  "       random_projection|sampled (neighborhood backend)");
         return 0;
     }
     const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
@@ -98,7 +103,13 @@ int main(int argc, char** argv) {
     const double eps_scale = args.get_double("eps-scale", 2.0);
     const double magnitude = args.get_double("magnitude", 3.0);
     const bool sweep = args.get_flag("sweep");
+    const std::string index = args.get_string("index", "exact");
     if (!args.finish("bench_table2_attacks")) return 1;
+    if (!fairbfl::cluster::IndexRegistry::global().contains(index)) {
+        std::fprintf(stderr, "bench_table2_attacks: bad --index '%s'\n",
+                     index.c_str());
+        return 1;
+    }
 
     if (sweep) {
         std::printf("metric,eps_scale,noniid_rate,iid_rate\n");
@@ -116,12 +127,14 @@ int main(int argc, char** argv) {
     }
 
     std::printf("## Table 2: malicious-attack detection "
-                "(paper averages: non-IID 64.96%%, IID 75%%)\n\n");
+                "(paper averages: non-IID 64.96%%, IID 75%%; index=%s)\n\n",
+                index.c_str());
     const double noniid = run_distribution(false, rounds, seed, eps_scale,
                                            magnitude, false,
-                                           /*euclidean=*/true);
+                                           /*euclidean=*/true, index);
     const double iid = run_distribution(true, rounds, seed, eps_scale,
-                                        magnitude, false, /*euclidean=*/true);
+                                        magnitude, false, /*euclidean=*/true,
+                                        index);
 
     std::printf("# shape-check IID detection >= non-IID detection: %s\n",
                 iid >= noniid - 0.05 ? "PASS" : "FAIL");

@@ -60,14 +60,36 @@ int main(int argc, char** argv) {
             "  --samples=N --dim=N --partition=iid|shards|dirichlet\n"
             "  --model=logistic|mlp --hidden=N\n"
             "  --discard            discard low-contribution clients\n"
-            "  --kmeans             cluster with k-means instead of DBSCAN\n"
+            "  --clustering=NAME    Algorithm 2 clustering backend (dbscan|\n"
+            "                       kmeans; any ClusteringRegistry key)\n"
+            "  --index=NAME         neighborhood index backend (auto|\n"
+            "                       exact|lazy|random_projection|sampled;\n"
+            "                       any IndexRegistry key; auto defers to\n"
+            "                       the clustering algorithm)\n"
             "  --aggregator=NAME    combine rule (simple|sample_weighted|\n"
             "                       fair|trimmed_mean|median)\n"
+            "  --list               print every registered backend and exit\n"
             "  --attack=none|signflip|gaussian|scale --attackers=N\n"
             "  --encrypt --keybits=N   sign (and encrypt) uploads\n"
             "  --prox-mu=F --drop=F    (fedprox)\n"
             "  --save-chain=PATH       export the ledger after the run\n"
             "  --csv=PATH              mirror the series to a file");
+        return 0;
+    }
+
+    if (args.get_flag("list")) {
+        const auto print_names = [](const char* title, const auto& names) {
+            std::printf("%s:", title);
+            for (const auto& name : names) {
+                std::printf(" %.*s", static_cast<int>(std::size(name)),
+                            std::data(name));
+            }
+            std::printf("\n");
+        };
+        print_names("systems", core::SystemRegistry::global().names());
+        print_names("clustering", cluster::ClusteringRegistry::global().names());
+        print_names("index", cluster::IndexRegistry::global().names());
+        print_names("aggregators", core::aggregator_names());
         return 0;
     }
 
@@ -108,7 +130,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("attackers", 3));
 
     const bool discard = args.get_flag("discard");
-    const bool kmeans = args.get_flag("kmeans");
+    const std::string clustering = args.get_string("clustering", "dbscan");
+    const std::string index = args.get_string("index", "auto");
     const std::string aggregator = args.get_string("aggregator", "");
     const bool encrypt = args.get_flag("encrypt");
     const auto key_bits = static_cast<std::size_t>(
@@ -138,8 +161,28 @@ int main(int argc, char** argv) {
     if (discard)
         spec.fair.incentive.strategy =
             incentive::LowContributionStrategy::kDiscard;
-    if (kmeans)
-        spec.fair.incentive.clustering = incentive::ClusteringChoice::kKMeans;
+    // Backends resolve by registry key; fail fast with the known names
+    // instead of handing a bad key to the first round.
+    if (!cluster::ClusteringRegistry::global().contains(clustering)) {
+        std::fprintf(stderr,
+                     "--clustering: unknown backend '%s' (known: %s)\n",
+                     clustering.c_str(),
+                     core::detail::join_names(
+                         cluster::ClusteringRegistry::global().names())
+                         .c_str());
+        return 1;
+    }
+    if (index != "auto" &&
+        !cluster::IndexRegistry::global().contains(index)) {
+        std::fprintf(
+            stderr, "--index: unknown backend '%s' (known: %s)\n",
+            index.c_str(),
+            core::detail::join_names(cluster::IndexRegistry::global().names())
+                .c_str());
+        return 1;
+    }
+    spec.fair.incentive.clustering = clustering;
+    spec.fair.incentive.index = index;
     if (!aggregator.empty()) {
         if (spec.system != "fairbfl" && spec.system != "fairbfl_discard" &&
             spec.system != "pure_fl") {

@@ -6,7 +6,8 @@ Usage:
                     [--fail-on-regression]
 
 Emits a GitHub-flavoured markdown table (pipe it into $GITHUB_STEP_SUMMARY)
-comparing `seconds.local` and `seconds.cluster` per common sweep point, and
+comparing `seconds.local`, `seconds.cluster` and `seconds.index_build`
+(the index-build sub-component of cluster) per common sweep point, and
 a `::warning::` annotation when either stage at the *largest* common client
 count regresses by more than the threshold.  Exit code is non-zero only
 with --fail-on-regression (CI warns by default: shared-runner timing noise
@@ -20,7 +21,9 @@ import argparse
 import json
 import sys
 
-WATCHED_STAGES = ("local", "cluster")
+# index_build is a sub-component of cluster (new in the GradientIndex PR);
+# artifacts that predate it simply skip that row.
+WATCHED_STAGES = ("local", "cluster", "index_build")
 
 
 def load_sweep(path):

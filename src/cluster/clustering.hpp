@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/distance.hpp"
+#include "cluster/index.hpp"
 
 namespace fairbfl::cluster {
 
@@ -38,15 +39,44 @@ public:
     [[nodiscard]] virtual ClusterResult cluster(
         std::span<const std::vector<float>> points) const = 0;
 
-    /// Clusters `points` reusing a prebuilt pairwise matrix over the same
-    /// points (the round pipeline builds it once and shares it across
-    /// every stage).  Implementations use `dist` only when its metric
-    /// matches their own; the default ignores it.
+    /// Clusters `points` querying a prebuilt GradientIndex over the same
+    /// points (the round pipeline builds the index once -- exact matrix,
+    /// random-projection sketch, or pivot signatures -- and shares it
+    /// across every stage).  Implementations use `index` only when its
+    /// metric matches their own; the default ignores it.
     [[nodiscard]] virtual ClusterResult cluster_with(
+        const GradientIndex& index,
+        std::span<const std::vector<float>> points) const {
+        (void)index;
+        return cluster(points);
+    }
+
+    /// Deprecated pre-GradientIndex seam: wraps the matrix in an
+    /// ExactIndex (copying it) and forwards.  New code should build the
+    /// index once and call the GradientIndex overload.
+    [[nodiscard,
+      deprecated("wrap the matrix in cluster::ExactIndex and call "
+                 "cluster_with(const GradientIndex&, points)")]]
+    ClusterResult cluster_with(
         const DistanceMatrix& dist,
         std::span<const std::vector<float>> points) const {
-        (void)dist;
-        return cluster(points);
+        return cluster_with(ExactIndex(dist), points);
+    }
+
+    /// The metric this algorithm's configuration clusters under -- the
+    /// geometry Algorithm 2 builds the shared index in.
+    [[nodiscard]] virtual Metric preferred_metric() const noexcept {
+        return Metric::kCosine;
+    }
+
+    /// The IndexRegistry key that matches this algorithm's access pattern
+    /// -- what Algorithm 2 builds when the index selection is "auto".
+    /// Dense neighbourhood scans amortize a precomputed "exact" matrix
+    /// (the default); algorithms touching only O(n) distances (k-means++
+    /// seeding) override to "lazy" so no O(n^2 d) structure is built for
+    /// queries that never read it.
+    [[nodiscard]] virtual std::string_view preferred_index() const noexcept {
+        return "exact";
     }
 
     [[nodiscard]] virtual const char* name() const = 0;

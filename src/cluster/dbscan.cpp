@@ -8,32 +8,33 @@ namespace fairbfl::cluster {
 ClusterResult Dbscan::cluster(
     std::span<const std::vector<float>> points) const {
     if (points.empty()) return {};
-    return cluster_matrix(DistanceMatrix(params_.metric, points));
+    return cluster_index(ExactIndex(params_.metric, points));
 }
 
 ClusterResult Dbscan::cluster_with(
-    const DistanceMatrix& dist,
+    const GradientIndex& index,
     std::span<const std::vector<float>> points) const {
     if (points.empty()) return {};
-    if (dist.metric() != params_.metric || dist.size() != points.size())
+    if (index.metric() != params_.metric || index.size() != points.size())
         return cluster(points);
-    return cluster_matrix(dist);
+    return cluster_index(index);
 }
 
-ClusterResult Dbscan::cluster_matrix(const DistanceMatrix& dist) const {
+ClusterResult Dbscan::cluster_index(const GradientIndex& index) const {
     ClusterResult result;
-    const std::size_t n = dist.size();
+    const std::size_t n = index.size();
     result.labels.assign(n, ClusterResult::kNoise);
     if (n == 0) return result;
 
+    const double eps =
+        params_.adaptive_eps
+            ? params_.adaptive_eps_scale * suggest_eps(index, params_.min_pts)
+            : params_.eps;
+
     // Neighbourhoods (self included, matching the classic formulation).
     std::vector<std::vector<std::size_t>> neighbours(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto row = dist.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            if (row[j] <= params_.eps) neighbours[i].push_back(j);
-        }
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        neighbours[i] = index.neighbors_within(i, eps);
 
     constexpr int kUnvisited = -2;
     std::vector<int> label(n, kUnvisited);
@@ -69,22 +70,18 @@ ClusterResult Dbscan::cluster_matrix(const DistanceMatrix& dist) const {
     return result;
 }
 
-double suggest_eps(std::span<const std::vector<float>> points,
-                   std::size_t min_pts, Metric metric) {
-    const std::size_t n = points.size();
-    if (n <= min_pts) return 0.1;
-    return suggest_eps(DistanceMatrix(metric, points), min_pts);
-}
+namespace {
 
-double suggest_eps(const DistanceMatrix& dist, std::size_t min_pts) {
-    const std::size_t n = dist.size();
-    if (n <= min_pts) return 0.1;
+/// Shared k-distance implementation: `fill_row` writes point i's n
+/// distances into its argument.  Callers guarantee n > min_pts.
+template <typename FillRow>
+double median_kth_distance(std::size_t n, std::size_t min_pts,
+                           FillRow&& fill_row) {
     std::vector<double> kth;
     kth.reserve(n);
     std::vector<double> row(n);
     for (std::size_t i = 0; i < n; ++i) {
-        const auto src = dist.row(i);
-        std::copy(src.begin(), src.end(), row.begin());
+        fill_row(i, row);
         std::nth_element(row.begin(),
                          row.begin() + static_cast<std::ptrdiff_t>(min_pts),
                          row.end());
@@ -94,6 +91,35 @@ double suggest_eps(const DistanceMatrix& dist, std::size_t min_pts) {
                      kth.begin() + static_cast<std::ptrdiff_t>(kth.size() / 2),
                      kth.end());
     return kth[kth.size() / 2];
+}
+
+}  // namespace
+
+double suggest_eps(std::span<const std::vector<float>> points,
+                   std::size_t min_pts, Metric metric) {
+    const std::size_t n = points.size();
+    if (n <= min_pts) return 0.0;
+    return suggest_eps(ExactIndex(metric, points), min_pts);
+}
+
+double suggest_eps(const GradientIndex& index, std::size_t min_pts) {
+    const std::size_t n = index.size();
+    if (n <= min_pts) return 0.0;
+    return median_kth_distance(n, min_pts,
+                               [&](std::size_t i, std::span<double> row) {
+                                   index.distances_from(i, row);
+                               });
+}
+
+double suggest_eps(const DistanceMatrix& dist, std::size_t min_pts) {
+    const std::size_t n = dist.size();
+    if (n <= min_pts) return 0.0;
+    return median_kth_distance(n, min_pts,
+                               [&](std::size_t i, std::span<double> row) {
+                                   const auto src = dist.row(i);
+                                   std::copy(src.begin(), src.end(),
+                                             row.begin());
+                               });
 }
 
 }  // namespace fairbfl::cluster

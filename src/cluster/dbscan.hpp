@@ -7,6 +7,9 @@
 // cores chain into clusters; everything unreachable is noise.  Forged
 // gradients land in noise / minority clusters because they are far (in
 // cosine distance) from the honest majority.
+//
+// The scan is written against the GradientIndex neighborhood API, so it
+// runs unchanged over the exact matrix or any approximate backend.
 
 #include <memory>
 
@@ -18,6 +21,15 @@ struct DbscanParams {
     double eps = 0.05;         ///< neighbourhood radius (metric units)
     std::size_t min_pts = 3;   ///< neighbours (incl. self) to be a core
     Metric metric = Metric::kCosine;
+    /// When true, `eps` is re-estimated per scan from the k-distance
+    /// sample of the index being scanned (suggest_eps), scaled by
+    /// adaptive_eps_scale.  This keeps detection working as gradients
+    /// concentrate with convergence, and -- because the sample lives in
+    /// the index's own geometry -- stays consistent under approximate
+    /// backends.  Algorithm 2's default config enables it.
+    bool adaptive_eps = false;
+    /// Scale applied to the suggested eps (>1 loosens the honest cluster).
+    double adaptive_eps_scale = 2.0;
 };
 
 class Dbscan final : public ClusteringAlgorithm {
@@ -26,12 +38,16 @@ public:
 
     [[nodiscard]] ClusterResult cluster(
         std::span<const std::vector<float>> points) const override;
-    /// Reuses a prebuilt matrix when its metric matches params().metric
-    /// (else rebuilds under the configured metric -- correctness over
-    /// reuse).
+    /// Reuses a prebuilt index when its metric matches params().metric
+    /// (else rebuilds an exact one under the configured metric --
+    /// correctness over reuse).
     [[nodiscard]] ClusterResult cluster_with(
-        const DistanceMatrix& dist,
+        const GradientIndex& index,
         std::span<const std::vector<float>> points) const override;
+    using ClusteringAlgorithm::cluster_with;
+    [[nodiscard]] Metric preferred_metric() const noexcept override {
+        return params_.metric;
+    }
     [[nodiscard]] const char* name() const override { return "dbscan"; }
 
     [[nodiscard]] const DbscanParams& params() const noexcept {
@@ -39,9 +55,9 @@ public:
     }
 
 private:
-    /// The scan itself; `dist` must cover exactly the point set.
-    [[nodiscard]] ClusterResult cluster_matrix(
-        const DistanceMatrix& dist) const;
+    /// The scan itself; `index` must cover exactly the point set.
+    [[nodiscard]] ClusterResult cluster_index(
+        const GradientIndex& index) const;
 
     DbscanParams params_;
 };
@@ -49,12 +65,22 @@ private:
 /// Heuristic eps: median of each point's k-th nearest-neighbour distance
 /// (k = min_pts).  Lets Algorithm 2 adapt eps per round as gradients shrink
 /// with convergence.
+///
+/// When n <= min_pts there is no k-th-neighbour sample to estimate from;
+/// all overloads return 0.0, under which DBSCAN (min_pts > 1) labels
+/// everything noise and Algorithm 2 degrades to plain fair aggregation --
+/// instead of clustering tiny rounds on an arbitrary made-up radius.
 [[nodiscard]] double suggest_eps(std::span<const std::vector<float>> points,
                                  std::size_t min_pts,
                                  Metric metric = Metric::kCosine);
 
-/// Same heuristic reading a prebuilt matrix instead of recomputing the
-/// pairwise distances.
+/// Same heuristic reading a prebuilt index: the k-distance sample lives in
+/// the index's own geometry, so the suggested eps is always consistent
+/// with the distances the scan will threshold against.
+[[nodiscard]] double suggest_eps(const GradientIndex& index,
+                                 std::size_t min_pts);
+
+/// Same heuristic reading a prebuilt dense matrix.
 [[nodiscard]] double suggest_eps(const DistanceMatrix& dist,
                                  std::size_t min_pts);
 

@@ -1,0 +1,212 @@
+#include "cluster/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/rng.hpp"
+
+namespace fairbfl::cluster {
+
+// --- GradientIndex defaults ------------------------------------------------
+// Generic fallbacks in terms of distance(); matrix-backed indexes override
+// with row scans over their own storage.
+
+std::vector<std::size_t> GradientIndex::neighbors_within(std::size_t i,
+                                                         double eps) const {
+    std::vector<std::size_t> neighbors;
+    const std::size_t n = size();
+    for (std::size_t j = 0; j < n; ++j) {
+        if (distance(i, j) <= eps) neighbors.push_back(j);
+    }
+    return neighbors;
+}
+
+std::size_t GradientIndex::nearest_of(
+    std::size_t i, std::span<const std::size_t> candidates) const {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t nearest = candidates.front();
+    for (const std::size_t candidate : candidates) {
+        const double d = distance(i, candidate);
+        if (d < best) {
+            best = d;
+            nearest = candidate;
+        }
+    }
+    return nearest;
+}
+
+void GradientIndex::distances_from(std::size_t i,
+                                   std::span<double> out) const {
+    const std::size_t n = size();
+    for (std::size_t j = 0; j < n; ++j) out[j] = distance(i, j);
+}
+
+// --- MatrixBackedIndex -----------------------------------------------------
+
+std::vector<std::size_t> MatrixBackedIndex::neighbors_within(
+    std::size_t i, double eps) const {
+    std::vector<std::size_t> neighbors;
+    const auto row = matrix_.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+        if (row[j] <= eps) neighbors.push_back(j);
+    }
+    return neighbors;
+}
+
+std::size_t MatrixBackedIndex::nearest_of(
+    std::size_t i, std::span<const std::size_t> candidates) const {
+    const auto row = matrix_.row(i);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t nearest = candidates.front();
+    for (const std::size_t candidate : candidates) {
+        if (row[candidate] < best) {
+            best = row[candidate];
+            nearest = candidate;
+        }
+    }
+    return nearest;
+}
+
+void MatrixBackedIndex::distances_from(std::size_t i,
+                                       std::span<double> out) const {
+    const auto row = matrix_.row(i);
+    std::copy(row.begin(), row.end(), out.begin());
+}
+
+// --- RandomProjectionIndex -------------------------------------------------
+
+RandomProjectionIndex::RandomProjectionIndex(
+    std::span<const std::vector<float>> points, const IndexParams& params,
+    support::ThreadPool& pool) {
+    if (points.empty()) return;
+    const std::size_t dim = points[0].size();
+    const std::size_t k = std::max<std::size_t>(params.projection_dims, 1);
+    if (dim <= k || points.size() <= 2 * k) {
+        // Below the break-even (see class comment) the sketches are the
+        // originals: exact distances, cheaper than projecting.  The
+        // backend keeps its approximate contract (exact() stays false) --
+        // consumers must not special-case this.
+        sketch_dims_ = dim;
+        matrix_ = DistanceMatrix(params.metric, points, pool);
+        return;
+    }
+    sketch_dims_ = k;
+    const support::ProjectionMatrix projection =
+        support::gaussian_projection(dim, k, params.seed);
+    const std::vector<std::vector<float>> sketches =
+        support::project_rows(projection, points, pool);
+    matrix_ = DistanceMatrix(params.metric, sketches, pool);
+}
+
+// --- SampledIndex ----------------------------------------------------------
+
+SampledIndex::SampledIndex(std::span<const std::vector<float>> points,
+                           const IndexParams& params,
+                           support::ThreadPool& pool)
+    : metric_(params.metric), n_(points.size()) {
+    if (n_ == 0) return;
+    if (n_ <= std::max<std::size_t>(params.pivots, 1)) {
+        // Below the break-even (see class comment): the dense matrix is
+        // cheaper than any n x m profile table, and exact.
+        dense_ = DistanceMatrix(metric_, points, pool);
+        return;
+    }
+    pivots_ = std::max<std::size_t>(params.pivots, 1);
+    auto rng = support::Rng::fork(params.seed, /*stream=*/0x51A4);
+    const std::vector<std::size_t> pivot_ids =
+        rng.sample_indices(n_, pivots_);
+
+    signatures_.resize(n_ * pivots_);
+    support::parallel_for(
+        0, n_,
+        [&](std::size_t i) {
+            double* row = signatures_.data() + i * pivots_;
+            for (std::size_t p = 0; p < pivots_; ++p)
+                row[p] = cluster::distance(metric_, points[i],
+                                           points[pivot_ids[p]]);
+        },
+        pool);
+}
+
+double SampledIndex::distance(std::size_t i, std::size_t j) const {
+    if (pivots_ == 0) return dense_.at(i, j);
+    if (i == j) return 0.0;
+    const double* a = signatures_.data() + i * pivots_;
+    const double* b = signatures_.data() + j * pivots_;
+    double sum = 0.0;
+    double top1 = 0.0;
+    double top2 = 0.0;
+    for (std::size_t p = 0; p < pivots_; ++p) {
+        const double diff = a[p] - b[p];
+        const double sq = diff * diff;
+        sum += sq;
+        if (sq > top1) {
+            top2 = top1;
+            top1 = sq;
+        } else if (sq > top2) {
+            top2 = sq;
+        }
+    }
+    // Trimmed RMS: each profile coordinate obeys |d(i,p) - d(j,p)| <=
+    // d(i,j), but most compress the true distance heavily while a pivot's
+    // *own* coordinate (s_p[p] == 0) does not -- so points that are pivots
+    // would read as outliers at the scale suggest_eps calibrates from
+    // everyone else.  Dropping the two largest coordinates (i and j can
+    // each be a pivot) removes that artifact; with far-group pairs many
+    // coordinates are large, so the contrast survives the trim.
+    std::size_t kept = pivots_;
+    if (pivots_ > 4) {
+        sum -= top1 + top2;
+        kept -= 2;
+    }
+    return std::sqrt(std::max(sum, 0.0) / static_cast<double>(kept));
+}
+
+// --- IndexRegistry ---------------------------------------------------------
+
+namespace {
+
+void register_builtin_indexes(IndexRegistry& registry) {
+    registry.add("exact",
+                 [](std::span<const std::vector<float>> points,
+                    const IndexParams& params, support::ThreadPool& pool)
+                     -> std::unique_ptr<GradientIndex> {
+                     return std::make_unique<ExactIndex>(params.metric,
+                                                         points, pool);
+                 });
+    registry.add("lazy",
+                 [](std::span<const std::vector<float>> points,
+                    const IndexParams& params, support::ThreadPool&)
+                     -> std::unique_ptr<GradientIndex> {
+                     return std::make_unique<LazyIndex>(params.metric,
+                                                        points);
+                 });
+    registry.add("random_projection",
+                 [](std::span<const std::vector<float>> points,
+                    const IndexParams& params, support::ThreadPool& pool)
+                     -> std::unique_ptr<GradientIndex> {
+                     return std::make_unique<RandomProjectionIndex>(
+                         points, params, pool);
+                 });
+    registry.add("sampled",
+                 [](std::span<const std::vector<float>> points,
+                    const IndexParams& params, support::ThreadPool& pool)
+                     -> std::unique_ptr<GradientIndex> {
+                     return std::make_unique<SampledIndex>(points, params,
+                                                           pool);
+                 });
+}
+
+}  // namespace
+
+IndexRegistry& IndexRegistry::global() {
+    static IndexRegistry* registry = [] {
+        auto* r = new IndexRegistry;
+        register_builtin_indexes(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+}  // namespace fairbfl::cluster

@@ -1,0 +1,312 @@
+#pragma once
+// GradientIndex: the pluggable neighborhood/distance API of Algorithm 2.
+//
+// The paper parameterizes contribution identification on "any suitable
+// clustering algorithm"; this header parameterizes it on the *geometry
+// backend* as well.  Every consumer of pairwise gradient distances --
+// suggest_eps, the DBSCAN neighbourhood scan, k-means++ seeding, the
+// nearest-cluster fallback -- queries this interface instead of reading a
+// dense cluster::DistanceMatrix, so exact and approximate backends are
+// interchangeable per round:
+//
+//   * "exact"              -- wraps DistanceMatrix; O(n^2 d) build,
+//                             O(n^2) doubles.  Bit-for-bit identical to the
+//                             dense-matrix pipeline it replaced.
+//   * "lazy"               -- no build at all; every query computes the
+//                             exact metric distance from the borrowed
+//                             points, O(d) each.  Right when the algorithm
+//                             touches O(n) distances (k-means++ seeding),
+//                             wasteful for dense O(n^2) scans.
+//   * "random_projection"  -- projects the d-dim gradients to k dims once
+//                             (O(n d k), support/projection.hpp), then runs
+//                             exact O(n^2 k) queries in sketch space.  The
+//                             LSH/random-projection direction of ROADMAP's
+//                             cluster-stage item.
+//   * "sampled"            -- scores every point against m sampled pivot
+//                             gradients and measures dissimilarity between
+//                             pivot-distance profiles; O(n m d) build and
+//                             O(n m) memory, never materializing an
+//                             (n+1)^2 matrix (ROADMAP's theta/matrix-memory
+//                             item).
+//
+// Index distances are comparison-only by contract (eps thresholds,
+// argmins).  Anything that feeds rewards or training -- e.g. the theta
+// scores -- must keep using the exact kernels; consumers may reuse index
+// entries for such paths only when exact() is true.
+//
+// Backends register in the string-keyed IndexRegistry (the SystemRegistry
+// pattern), so a bench or adopter plugs a new neighborhood structure in at
+// startup and selects it by key (`fairbfl_sim --index=...`).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "cluster/factory_registry.hpp"
+#include "support/parallel.hpp"
+#include "support/projection.hpp"
+
+namespace fairbfl::cluster {
+
+/// Tuning knobs shared by the built-in backends.  `metric` is the geometry
+/// the index answers queries in; Algorithm 2 derives it from the clustering
+/// algorithm's configuration at build time.
+struct IndexParams {
+    Metric metric = Metric::kCosine;
+    /// "random_projection": sketch dimensionality k.  Build is O(n d k);
+    /// distortion shrinks as O(sqrt(log n / k)).
+    std::size_t projection_dims = 48;
+    /// "sampled": pivot count m (clamped to n).  Memory is O(n m).
+    std::size_t pivots = 32;
+    /// Seed for the projection matrix / pivot sampling.  Affects index
+    /// internals only, never the round's Rng streams.
+    std::uint64_t seed = 42;
+};
+
+/// Read-only neighborhood structure over one round's point set (the n
+/// client updates plus the provisional global).  Implementations are
+/// immutable after construction and safe to query from multiple threads.
+/// A backend may borrow the point storage it was built over ("lazy" does);
+/// callers keep the points alive for the index's lifetime.
+class GradientIndex {
+public:
+    virtual ~GradientIndex() = default;
+
+    /// Registry key / diagnostic label of the backend.
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+    [[nodiscard]] virtual Metric metric() const noexcept = 0;
+
+    /// Index distance between points i and j.  Symmetric, zero diagonal.
+    /// Approximate backends answer in their own geometry (sketch space,
+    /// pivot-profile space); values are mutually comparable within one
+    /// index but not across backends.
+    [[nodiscard]] virtual double distance(std::size_t i,
+                                          std::size_t j) const = 0;
+
+    /// Points j (ascending, self included) with distance(i, j) <= eps --
+    /// the DBSCAN neighbourhood query.
+    [[nodiscard]] virtual std::vector<std::size_t> neighbors_within(
+        std::size_t i, double eps) const;
+
+    /// The candidate nearest to i under the index distance; the first
+    /// candidate wins ties (callers pass candidates in ascending order to
+    /// keep argmin tie-breaks deterministic).  Requires a non-empty
+    /// candidate set.
+    [[nodiscard]] virtual std::size_t nearest_of(
+        std::size_t i, std::span<const std::size_t> candidates) const;
+
+    /// Fills out[j] = distance(i, j) for every j (out.size() == size()) --
+    /// the row query behind suggest_eps's k-distance sample.
+    virtual void distances_from(std::size_t i, std::span<double> out) const;
+
+    /// True when distance() is the exact pairwise metric (no projection or
+    /// sampling error).  Exactness-sensitive consumers (the theta scores)
+    /// may reuse index entries only under this flag.
+    [[nodiscard]] virtual bool exact() const noexcept { return false; }
+
+    /// True when the index holds precomputed rows, making distances_from a
+    /// copy rather than a recompute.  Consumers with a cheaper batch
+    /// kernel of their own (the fused theta path) should read the index
+    /// back only when this is set.
+    [[nodiscard]] virtual bool precomputed_rows() const noexcept {
+        return false;
+    }
+};
+
+/// Shared implementation for backends whose storage is a dense
+/// DistanceMatrix (exact over the originals, or exact over sketches):
+/// every query is a row scan in ascending-j order -- the exact access
+/// pattern of the pre-index DBSCAN scan / argmin fallback, so labels and
+/// tie-breaks are unchanged bit-for-bit given the same matrix.
+class MatrixBackedIndex : public GradientIndex {
+public:
+    [[nodiscard]] std::size_t size() const noexcept override {
+        return matrix_.size();
+    }
+    [[nodiscard]] Metric metric() const noexcept override {
+        return matrix_.metric();
+    }
+    [[nodiscard]] double distance(std::size_t i,
+                                  std::size_t j) const override {
+        return matrix_.at(i, j);
+    }
+    [[nodiscard]] std::vector<std::size_t> neighbors_within(
+        std::size_t i, double eps) const override;
+    [[nodiscard]] std::size_t nearest_of(
+        std::size_t i,
+        std::span<const std::size_t> candidates) const override;
+    void distances_from(std::size_t i, std::span<double> out) const override;
+    [[nodiscard]] bool precomputed_rows() const noexcept override {
+        return true;
+    }
+
+    [[nodiscard]] const DistanceMatrix& matrix() const noexcept {
+        return matrix_;
+    }
+
+protected:
+    MatrixBackedIndex() = default;
+    explicit MatrixBackedIndex(DistanceMatrix matrix) noexcept
+        : matrix_(std::move(matrix)) {}
+
+    DistanceMatrix matrix_;
+};
+
+/// The dense exact backend: today's DistanceMatrix behind the index API.
+class ExactIndex final : public MatrixBackedIndex {
+public:
+    /// Builds the pairwise matrix over `points` (the O(n^2 d) job, row
+    /// fan-out on `pool`).
+    ExactIndex(Metric metric, std::span<const std::vector<float>> points,
+               support::ThreadPool& pool = support::ThreadPool::global())
+        : MatrixBackedIndex(DistanceMatrix(metric, points, pool)) {}
+    /// Adopts a prebuilt matrix.
+    explicit ExactIndex(DistanceMatrix matrix) noexcept
+        : MatrixBackedIndex(std::move(matrix)) {}
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "exact";
+    }
+    [[nodiscard]] bool exact() const noexcept override { return true; }
+};
+
+/// Zero-build exact backend: borrows the point storage and computes the
+/// metric distance on every query (O(d) each, nothing precomputed).  The
+/// right trade when the clustering algorithm touches O(n) distances --
+/// k-means++ seeding reads one column per seed -- where any precomputed
+/// structure costs more to build than it ever returns.  A dense DBSCAN
+/// scan over this backend degenerates to the full O(n^2 d) recompute;
+/// prefer "exact" there.
+class LazyIndex final : public GradientIndex {
+public:
+    LazyIndex(Metric metric,
+              std::span<const std::vector<float>> points) noexcept
+        : metric_(metric), points_(points) {}
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "lazy";
+    }
+    [[nodiscard]] std::size_t size() const noexcept override {
+        return points_.size();
+    }
+    [[nodiscard]] Metric metric() const noexcept override { return metric_; }
+    [[nodiscard]] double distance(std::size_t i,
+                                  std::size_t j) const override {
+        if (i == j) return 0.0;
+        return cluster::distance(metric_, points_[i], points_[j]);
+    }
+    [[nodiscard]] bool exact() const noexcept override { return true; }
+
+private:
+    Metric metric_ = Metric::kCosine;
+    std::span<const std::vector<float>> points_;  ///< borrowed
+};
+
+/// Johnson-Lindenstrauss backend: one seeded Gaussian projection to
+/// params.projection_dims, then a dense exact matrix over the sketches.
+/// Build O(n d k) + O(n^2 k) beats the exact O(n^2 d) whenever k << d
+/// (gradients are d ~ 10^4, k ~ 48).
+///
+/// Below the cost break-even the sketch is pure loss: when the points are
+/// no wider than k the projection cannot reduce anything, and when
+/// n <= 2k the dense pairwise build (n^2 d / 2 products) is already
+/// cheaper than the projection (n d k products).  In both cases the index
+/// is built over the original points -- exact geometry at lower cost than
+/// any sketch -- so small rounds (e.g. the paper's 10-client Table 2
+/// setting) make identical decisions to the "exact" backend, and the
+/// approximation only engages at the scale where it pays.
+class RandomProjectionIndex final : public MatrixBackedIndex {
+public:
+    RandomProjectionIndex(
+        std::span<const std::vector<float>> points, const IndexParams& params,
+        support::ThreadPool& pool = support::ThreadPool::global());
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "random_projection";
+    }
+
+    /// Sketch dimensionality actually used (0 when n == 0).
+    [[nodiscard]] std::size_t sketch_dims() const noexcept {
+        return sketch_dims_;
+    }
+
+private:
+    std::size_t sketch_dims_ = 0;
+};
+
+/// Pivot-profile backend: m gradients are sampled as pivots, every point
+/// gets the m-vector of exact metric distances to them, and the index
+/// distance is the trimmed-RMS difference between profiles.  Points close
+/// under the true metric have close profiles (each coordinate is
+/// 1-Lipschitz in the point by the triangle inequality), so cluster
+/// structure survives while memory stays O(n m) -- the backend a
+/// million-client shard can afford, where any (n+1)^2 matrix cannot
+/// exist.  Queries are O(m) per pair with no precomputed pairwise table.
+///
+/// When n <= m the profile table (n m distances) costs at least as much
+/// to build and store as the dense matrix it is supposed to avoid, so --
+/// like RandomProjectionIndex below its break-even -- the index holds the
+/// exact matrix instead (pivot_count() reports 0): small rounds decide
+/// identically to "exact", and the O(n m) cap engages exactly where the
+/// matrix would outgrow it.
+class SampledIndex final : public GradientIndex {
+public:
+    SampledIndex(std::span<const std::vector<float>> points,
+                 const IndexParams& params,
+                 support::ThreadPool& pool = support::ThreadPool::global());
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "sampled";
+    }
+    [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+    [[nodiscard]] Metric metric() const noexcept override { return metric_; }
+    [[nodiscard]] double distance(std::size_t i, std::size_t j) const override;
+
+    /// Pivot count actually in use; 0 in the small-n dense fallback.
+    [[nodiscard]] std::size_t pivot_count() const noexcept { return pivots_; }
+    /// Bytes held by the index storage: the n x m signature table, or the
+    /// dense matrix in the small-n fallback.
+    [[nodiscard]] std::size_t storage_bytes() const noexcept {
+        return (signatures_.size() + dense_.size() * dense_.size()) *
+               sizeof(double);
+    }
+
+private:
+    Metric metric_ = Metric::kCosine;
+    std::size_t n_ = 0;
+    std::size_t pivots_ = 0;
+    std::vector<double> signatures_;  ///< n x m row-major pivot distances
+    DistanceMatrix dense_;            ///< small-n fallback (n <= m)
+};
+
+/// String-keyed backend table, mirroring core::SystemRegistry.  `global()`
+/// comes pre-loaded with "exact", "lazy", "random_projection" and
+/// "sampled"; registrations are additive and thread-safe.
+class IndexRegistry
+    : public FactoryRegistry<std::function<std::unique_ptr<GradientIndex>(
+          std::span<const std::vector<float>>, const IndexParams&,
+          support::ThreadPool&)>> {
+public:
+    IndexRegistry() : FactoryRegistry("index backend") {}
+
+    /// Builds the backend `name` over `points`.  Throws std::out_of_range
+    /// listing the known names when it is not registered.  The backend may
+    /// borrow `points` (see GradientIndex); keep them alive.
+    [[nodiscard]] std::unique_ptr<GradientIndex> build(
+        std::string_view name, std::span<const std::vector<float>> points,
+        const IndexParams& params,
+        support::ThreadPool& pool = support::ThreadPool::global()) const {
+        return find(name)(points, params, pool);
+    }
+
+    /// The process-wide registry, built-ins pre-registered.
+    static IndexRegistry& global();
+};
+
+}  // namespace fairbfl::cluster

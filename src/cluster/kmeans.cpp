@@ -14,16 +14,16 @@ ClusterResult KMeans::cluster(
 }
 
 ClusterResult KMeans::cluster_with(
-    const DistanceMatrix& dist,
+    const GradientIndex& index,
     std::span<const std::vector<float>> points) const {
-    if (dist.metric() != params_.metric || dist.size() != points.size())
+    if (index.metric() != params_.metric || index.size() != points.size())
         return cluster_impl(points, nullptr);
-    return cluster_impl(points, &dist);
+    return cluster_impl(points, &index);
 }
 
 ClusterResult KMeans::cluster_impl(
     std::span<const std::vector<float>> points,
-    const DistanceMatrix* dist) const {
+    const GradientIndex* index) const {
     ClusterResult result;
     const std::size_t n = points.size();
     if (n == 0) return result;
@@ -42,8 +42,8 @@ ClusterResult KMeans::cluster_impl(
     auto rng = support::Rng::fork(params_.seed, /*stream=*/0x4B4D);
 
     // k-means++ seeding.  Every candidate centroid is a data point here,
-    // so a prebuilt matrix answers the seed distances by lookup (the
-    // cosine matrix is built on the unnormalized originals, whose cosine
+    // so a prebuilt index answers the seed distances by lookup (a cosine
+    // index is built on the unnormalized originals, whose cosine
     // distances equal the normalized copies').
     std::vector<std::vector<float>> centroids;
     centroids.reserve(k);
@@ -55,8 +55,8 @@ ClusterResult KMeans::cluster_impl(
         double total = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
             const double d =
-                dist ? dist->at(i, last_seed)
-                     : distance(params_.metric, data[i], centroids.back());
+                index ? index->distance(i, last_seed)
+                      : distance(params_.metric, data[i], centroids.back());
             min_dist2[i] = std::min(min_dist2[i], d * d);
             total += min_dist2[i];
         }

@@ -25,23 +25,36 @@ public:
 
     [[nodiscard]] ClusterResult cluster(
         std::span<const std::vector<float>> points) const override;
-    /// Reuses a prebuilt matrix for the k-means++ seeding phase (every
+    /// Reuses a prebuilt index for the k-means++ seeding phase (every
     /// candidate centroid is still a data point there, so seed distances
-    /// are plain matrix lookups).  Lloyd iterations move the centroids off
-    /// the data and always recompute.  The matrix is used only when its
-    /// metric matches params().metric.
+    /// are plain index queries).  Lloyd iterations move the centroids off
+    /// the data and always recompute exactly.  The index is used only when
+    /// its metric matches params().metric.
     ///
-    /// Caveat: matrix entries are mathematically equal but not bit-equal
-    /// to what cluster() computes (blocked Euclidean kernel; cosine on
-    /// unnormalized originals), and seeding feeds them into cumulative
-    /// probability sampling -- so in ulp-tight ties this path may pick a
+    /// Caveat: index entries are at best mathematically equal -- and for
+    /// approximate backends only approximately equal -- to what cluster()
+    /// computes (blocked Euclidean kernel; cosine on unnormalized
+    /// originals; sketch/pivot space), and seeding feeds them into
+    /// cumulative probability sampling -- so this path may pick a
     /// different (equally valid) seed than cluster() and label the same
     /// partition differently.  Use it for throughput when a matching
-    /// matrix already exists, not when exact reproduction of the
+    /// index already exists, not when exact reproduction of the
     /// points-path labels matters.
     [[nodiscard]] ClusterResult cluster_with(
-        const DistanceMatrix& dist,
+        const GradientIndex& index,
         std::span<const std::vector<float>> points) const override;
+    using ClusteringAlgorithm::cluster_with;
+    [[nodiscard]] Metric preferred_metric() const noexcept override {
+        return params_.metric;
+    }
+    /// Seeding touches one index column per seed -- O(n k) lookups -- so
+    /// under "auto" no precomputed structure is built for it.  With the
+    /// "lazy" backend and the Euclidean metric, cluster_with reproduces
+    /// cluster() bit-for-bit (the seed distances are the same calls on
+    /// the same vectors); the cosine caveat above still applies.
+    [[nodiscard]] std::string_view preferred_index() const noexcept override {
+        return "lazy";
+    }
     [[nodiscard]] const char* name() const override { return "kmeans"; }
 
     [[nodiscard]] const KMeansParams& params() const noexcept {
@@ -51,7 +64,7 @@ public:
 private:
     [[nodiscard]] ClusterResult cluster_impl(
         std::span<const std::vector<float>> points,
-        const DistanceMatrix* dist) const;
+        const GradientIndex* index) const;
 
     KMeansParams params_;
 };

@@ -1,0 +1,29 @@
+#include "cluster/registry.hpp"
+
+namespace fairbfl::cluster {
+
+namespace {
+
+void register_builtin_algorithms(ClusteringRegistry& registry) {
+    registry.add("dbscan", [](const ClusteringConfig& config)
+                     -> std::unique_ptr<ClusteringAlgorithm> {
+        return std::make_unique<Dbscan>(config.dbscan);
+    });
+    registry.add("kmeans", [](const ClusteringConfig& config)
+                     -> std::unique_ptr<ClusteringAlgorithm> {
+        return std::make_unique<KMeans>(config.kmeans);
+    });
+}
+
+}  // namespace
+
+ClusteringRegistry& ClusteringRegistry::global() {
+    static ClusteringRegistry* registry = [] {
+        auto* r = new ClusteringRegistry;
+        register_builtin_algorithms(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+}  // namespace fairbfl::cluster

@@ -68,9 +68,13 @@ struct RoundDelay {
 /// each stage across PRs.  Stages a system does not execute stay zero.
 struct StageWall {
     double local = 0.0;      ///< Procedure I: local learning
-    double cluster = 0.0;    ///< Algorithm 2: matrix + clustering + theta
+    double cluster = 0.0;    ///< Algorithm 2: index + clustering + theta
     double aggregate = 0.0;  ///< provisional combine + reward settlement
     double mine = 0.0;       ///< Procedure V: consensus + chain submit
+    /// Sub-component of `cluster`: building the round's GradientIndex
+    /// (dense matrix / projection sketches / pivot signatures).  Already
+    /// counted inside `cluster`, so total() must not add it again.
+    double index_build = 0.0;
 
     [[nodiscard]] double total() const noexcept {
         return local + cluster + aggregate + mine;

@@ -214,6 +214,7 @@ BflRoundRecord FairBfl::run_round() {
             report =
                 contribution_->identify(final_updates, provisional, weights_);
         }
+        record.wall.index_build += report.index_build_seconds;
         clustered_points = final_updates.size() + 1;
         // An explicitly configured aggregator governs the settlement
         // combine as well; the default keeps Eq. 1 exactly.

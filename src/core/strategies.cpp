@@ -181,12 +181,12 @@ public:
 class ClusteredContribution final : public ContributionPolicy {
 public:
     explicit ClusteredContribution(incentive::ContributionConfig config)
-        : config_(std::move(config)) {}
+        : config_(std::move(config)),
+          name_("clustered(" + config_.clustering + "/" + config_.index +
+                ")") {}
 
     [[nodiscard]] std::string_view name() const noexcept override {
-        return config_.clustering == incentive::ClusteringChoice::kKMeans
-                   ? "clustered(kmeans)"
-                   : "clustered(dbscan)";
+        return name_;
     }
 
     [[nodiscard]] incentive::ContributionReport identify(
@@ -199,6 +199,7 @@ public:
 
 private:
     incentive::ContributionConfig config_;
+    std::string name_;
 };
 
 class StrategyRewardPolicy final : public RewardPolicy {

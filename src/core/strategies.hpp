@@ -24,6 +24,7 @@
 #include "core/delay_model.hpp"
 #include "fl/aggregation.hpp"
 #include "incentive/contribution.hpp"
+#include "support/cli.hpp"
 
 namespace fairbfl::core {
 
@@ -151,16 +152,10 @@ public:
 
 namespace detail {
 /// Comma-joins a name list for "(known: ...)" error messages -- shared by
-/// the aggregator/consensus factories and the SystemRegistry.
-template <typename Range>
-[[nodiscard]] std::string join_names(const Range& names) {
-    std::string out;
-    for (const auto& name : names) {
-        if (!out.empty()) out += ", ";
-        out += name;
-    }
-    return out;
-}
+/// the aggregator/consensus factories and the SystemRegistry.  The one
+/// implementation lives in support/cli.hpp (the cluster registries use it
+/// too); this alias keeps the historic core::detail spelling working.
+using support::join_names;
 }  // namespace detail
 
 }  // namespace fairbfl::core

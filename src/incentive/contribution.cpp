@@ -1,7 +1,7 @@
 #include "incentive/contribution.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <chrono>
 
 #include "support/vecmath.hpp"
 
@@ -47,60 +47,59 @@ ContributionReport identify_contributions(
     points.push_back(to_point(provisional_global));
     const std::size_t global_index = points.size() - 1;
 
-    // The round's one and only O(n^2 d) job: the pairwise matrix over all
-    // updates plus the provisional global, under the clustering metric.
-    // Built for the DBSCAN branch only, where eps suggestion, the
-    // neighbourhood scan, the nearest-cluster fallback, and (under the
-    // cosine metric) the theta scores all read from it.  k-means touches
-    // just O(k) seed distances, so the full build would cost more than it
-    // saves -- that branch computes the few distances it needs directly.
-    const cluster::Metric cluster_metric =
-        config.clustering == ClusteringChoice::kDbscan
-            ? config.dbscan.metric
-            : config.kmeans.metric;
-    cluster::DistanceMatrix dist;
+    // Resolve the clustering algorithm by registry key; its configuration
+    // decides the geometry the shared index is built in and -- under the
+    // "auto" selection -- which backend fits its access pattern (dense
+    // scans precompute, seed-only algorithms go lazy).
+    const cluster::ClusteringConfig cluster_config{.dbscan = config.dbscan,
+                                                   .kmeans = config.kmeans};
+    const std::unique_ptr<cluster::ClusteringAlgorithm> algorithm =
+        cluster::ClusteringRegistry::global().make(config.clustering,
+                                                   cluster_config);
 
-    std::unique_ptr<cluster::ClusteringAlgorithm> algorithm;
-    switch (config.clustering) {
-        case ClusteringChoice::kDbscan: {
-            dist = cluster::DistanceMatrix(cluster_metric, points);
-            cluster::DbscanParams params = config.dbscan;
-            if (config.adaptive_eps) {
-                params.eps = config.adaptive_eps_scale *
-                             cluster::suggest_eps(dist, params.min_pts);
-            }
-            algorithm = std::make_unique<cluster::Dbscan>(params);
-            break;
-        }
-        case ClusteringChoice::kKMeans:
-            algorithm = std::make_unique<cluster::KMeans>(config.kmeans);
-            break;
-    }
-    const bool have_matrix = dist.size() == points.size();
-    report.clustering = have_matrix ? algorithm->cluster_with(dist, points)
-                                    : algorithm->cluster(points);
+    // The round's one and only neighborhood-structure job: build the
+    // selected GradientIndex backend over all updates plus the provisional
+    // global -- O(n^2 d) for "exact", O(n d k) for the approximate
+    // backends, nothing at all for "lazy".  Eps suggestion, the clustering
+    // scan, and the nearest-cluster fallback all query it; nothing
+    // downstream touches a dense matrix directly.
+    cluster::IndexParams index_params = config.index_params;
+    index_params.metric = algorithm->preferred_metric();
+    const std::string_view index_key = config.index == "auto"
+                                           ? algorithm->preferred_index()
+                                           : std::string_view(config.index);
+    const auto build_start = std::chrono::steady_clock::now();
+    const std::unique_ptr<cluster::GradientIndex> index =
+        cluster::IndexRegistry::global().build(index_key, points,
+                                               index_params);
+    report.index_build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      build_start)
+            .count();
+    report.index_backend = index->name();
+
+    report.clustering = algorithm->cluster_with(*index, points);
     report.global_cluster = report.clustering.labels[global_index];
 
     // Attackers can drag the provisional average off the honest cluster,
     // leaving the global update in DBSCAN noise.  Membership in "the
     // global's cluster" is then undefined; the robust reading of
     // Algorithm 2 assigns the global to its *nearest* cluster (minimum
-    // distance under the clustering metric to any member), which is the
-    // honest one whenever an honest majority exists.
+    // index distance to any member), which is the honest one whenever an
+    // honest majority exists.  Candidates ascend, and nearest_of breaks
+    // ties on the first minimum, reproducing the old argmin scan exactly.
     if (report.global_cluster == cluster::ClusterResult::kNoise &&
         report.clustering.num_clusters > 0) {
-        double best = std::numeric_limits<double>::infinity();
+        std::vector<std::size_t> clustered;
+        clustered.reserve(global_index);
         for (std::size_t i = 0; i < global_index; ++i) {
-            const int label = report.clustering.labels[i];
-            if (label == cluster::ClusterResult::kNoise) continue;
-            const double d =
-                have_matrix ? dist.at(global_index, i)
-                            : cluster::distance(cluster_metric, points[i],
-                                                points[global_index]);
-            if (d < best) {
-                best = d;
-                report.global_cluster = label;
-            }
+            if (report.clustering.labels[i] != cluster::ClusterResult::kNoise)
+                clustered.push_back(i);
+        }
+        if (!clustered.empty()) {
+            const std::size_t nearest =
+                index->nearest_of(global_index, clustered);
+            report.global_cluster = report.clustering.labels[nearest];
         }
     }
 
@@ -127,12 +126,18 @@ ContributionReport identify_contributions(
     }
 
     // theta_i: cosine distance of each update to the provisional global.
-    // The cosine matrix already holds these in the global's row; otherwise
-    // the fused batch kernel computes them with the global's norm cached
-    // (bit-identical to pairwise cosine_distance).
+    // Theta feeds reward and aggregation arithmetic, so it must stay exact
+    // under every backend: an exact cosine index with precomputed rows
+    // already holds the values in the global's row (read them back); any
+    // other backend -- Euclidean exact, lazy (recomputing the row would
+    // cost more than the kernel), sketches, pivot profiles -- falls
+    // through to the fused batch kernel (bit-identical to pairwise
+    // cosine_distance).
     std::vector<double> theta(updates.size());
-    if (have_matrix && cluster_metric == cluster::Metric::kCosine) {
-        const auto global_row = dist.row(global_index);
+    if (index->exact() && index->precomputed_rows() &&
+        index->metric() == cluster::Metric::kCosine) {
+        std::vector<double> global_row(points.size());
+        index->distances_from(global_index, global_row);
         std::copy(global_row.begin(), global_row.begin() + updates.size(),
                   theta.begin());
     } else {

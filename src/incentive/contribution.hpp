@@ -19,11 +19,12 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/clustering.hpp"
-#include "cluster/dbscan.hpp"
-#include "cluster/kmeans.hpp"
+#include "cluster/index.hpp"
+#include "cluster/registry.hpp"
 #include "fl/aggregation.hpp"
 #include "fl/gradient.hpp"
 
@@ -35,28 +36,40 @@ enum class LowContributionStrategy : std::uint8_t {
     kDiscard = 1,  ///< drop them and recalculate the global update
 };
 
-enum class ClusteringChoice : std::uint8_t {
-    kDbscan = 0,  ///< the paper's default
-    kKMeans = 1,  ///< the "various clustering algorithms" alternative
-};
-
 struct ContributionConfig {
-    ClusteringChoice clustering = ClusteringChoice::kDbscan;
+    /// Clustering backend, resolved by key in
+    /// cluster::ClusteringRegistry::global() ("dbscan" -- the paper's
+    /// default -- or "kmeans", or anything registered at startup).
+    std::string clustering = "dbscan";
+    /// Neighborhood/distance backend, resolved by key in
+    /// cluster::IndexRegistry::global(): "exact" (dense matrix,
+    /// bit-identical to the pre-index pipeline), "lazy" (zero build,
+    /// per-query exact distances), "random_projection" (JL sketches,
+    /// O(n d k) build), or "sampled" (pivot signatures, O(n m) memory).
+    /// "auto" (the default) defers to the clustering algorithm's
+    /// preferred_index() -- "exact" for DBSCAN's dense scan, "lazy" for
+    /// k-means' seed-only touches -- so each algorithm keeps its
+    /// pre-GradientIndex cost profile unless a backend is pinned.
+    std::string index = "auto";
     LowContributionStrategy strategy = LowContributionStrategy::kKeepAll;
     /// Clustering metric defaults to Euclidean over the round's effective
     /// gradients: forged/low-quality gradients separate by *magnitude and
     /// direction* there, whereas cosine distance degenerates under non-IID
     /// data (honest shard directions are already near-orthogonal).  The
     /// reward weight theta stays cosine, as Algorithm 2 prescribes.
-    cluster::DbscanParams dbscan{
-        .eps = 0.05, .min_pts = 3, .metric = cluster::Metric::kEuclidean};
-    /// When true, DBSCAN's eps is re-estimated each round from the k-NN
-    /// distance distribution of the current gradients (suggest_eps).  This
-    /// keeps detection working as gradients concentrate with convergence.
-    bool adaptive_eps = true;
-    /// Scale applied to the suggested eps (>1 loosens the honest cluster).
-    double adaptive_eps_scale = 2.0;
+    /// Adaptive eps (on by default here, off in raw DbscanParams) keeps
+    /// detection working as gradients concentrate with convergence.
+    cluster::DbscanParams dbscan{.eps = 0.05,
+                                 .min_pts = 3,
+                                 .metric = cluster::Metric::kEuclidean,
+                                 .adaptive_eps = true,
+                                 .adaptive_eps_scale = 2.0};
     cluster::KMeansParams kmeans;
+    /// Tuning for the selected index backend (projection dims, pivot
+    /// count, internal seed).  The metric field is overwritten at build
+    /// time with the clustering algorithm's preferred metric, so index and
+    /// scan always agree on the geometry.
+    cluster::IndexParams index_params;
     /// The paper's `base` reward multiplier per round.
     double reward_base = 1.0;
 };
@@ -76,6 +89,11 @@ struct ContributionReport {
     std::vector<std::size_t> low_indices;
     int global_cluster = cluster::ClusterResult::kNoise;
     cluster::ClusterResult clustering;        ///< labels: updates then global
+    /// Index backend that served this round (diagnostics / perf JSON).
+    std::string index_backend;
+    /// Host wall seconds spent building the index -- a sub-component of
+    /// the round's cluster-stage wall time (core::StageWall::index_build).
+    double index_build_seconds = 0.0;
 
     /// Client ids labelled low contribution (the "drop index" of Table 2).
     [[nodiscard]] std::vector<fl::NodeId> low_clients() const;

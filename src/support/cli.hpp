@@ -14,6 +14,18 @@
 
 namespace fairbfl::support {
 
+/// Comma-joins a range of names for "(known: ...)" diagnostics -- shared
+/// by the registry error messages and CLI validation across layers.
+template <typename Range>
+[[nodiscard]] std::string join_names(const Range& names) {
+    std::string out;
+    for (const auto& name : names) {
+        if (!out.empty()) out += ", ";
+        out += name;
+    }
+    return out;
+}
+
 class CliArgs {
 public:
     CliArgs(int argc, const char* const* argv);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/dbscan.hpp"
+#include "cluster/index.hpp"
 #include "cluster/kmeans.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -200,39 +201,89 @@ TEST(Distance, CosineMatrixCachesNorms) {
                                        points[j]));
 }
 
-TEST(Dbscan, PrebuiltMatrixMatchesPointsPath) {
+TEST(Dbscan, PrebuiltIndexMatchesPointsPath) {
+    const auto points = two_blobs(20, 3, 14);
+    const cl::DbscanParams params{
+        .eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean};
+    const cl::Dbscan dbscan(params);
+    const cl::ExactIndex index(params.metric, points);
+    const auto direct = dbscan.cluster(points);
+    const auto reused = dbscan.cluster_with(index, points);
+    EXPECT_EQ(direct.labels, reused.labels);
+    EXPECT_EQ(direct.num_clusters, reused.num_clusters);
+}
+
+// The pre-GradientIndex seam survives as a shim for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Dbscan, DeprecatedMatrixShimStillMatches) {
     const auto points = two_blobs(20, 3, 14);
     const cl::DbscanParams params{
         .eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean};
     const cl::Dbscan dbscan(params);
     const cl::DistanceMatrix dist(params.metric, points);
-    const auto direct = dbscan.cluster(points);
-    const auto reused = dbscan.cluster_with(dist, points);
-    EXPECT_EQ(direct.labels, reused.labels);
-    EXPECT_EQ(direct.num_clusters, reused.num_clusters);
+    EXPECT_EQ(dbscan.cluster_with(dist, points).labels,
+              dbscan.cluster(points).labels);
 }
+#pragma GCC diagnostic pop
 
-TEST(Dbscan, MismatchedMatrixMetricFallsBackToRebuild) {
+TEST(Dbscan, MismatchedIndexMetricFallsBackToRebuild) {
     const auto points = two_blobs(20, 0, 15);
     const cl::Dbscan dbscan(
         {.eps = 0.3, .min_pts = 3, .metric = cl::Metric::kEuclidean});
-    // Wrong-metric matrix: correctness demands a rebuild, not reuse.
-    const cl::DistanceMatrix cosine(cl::Metric::kCosine, points);
+    // Wrong-metric index: correctness demands a rebuild, not reuse.
+    const cl::ExactIndex cosine(cl::Metric::kCosine, points);
     const auto reused = dbscan.cluster_with(cosine, points);
     EXPECT_EQ(reused.labels, dbscan.cluster(points).labels);
 }
 
-TEST(Dbscan, SuggestEpsMatrixOverloadMatchesPointsOverload) {
+TEST(Dbscan, SuggestEpsMatrixAndIndexOverloadsMatchPointsOverload) {
     const auto points = two_blobs(20, 0, 16);
     for (const auto metric : {cl::Metric::kEuclidean, cl::Metric::kCosine}) {
         const cl::DistanceMatrix dist(metric, points);
+        const cl::ExactIndex index(metric, points);
         EXPECT_EQ(cl::suggest_eps(points, 3, metric),
                   cl::suggest_eps(dist, 3));
+        EXPECT_EQ(cl::suggest_eps(points, 3, metric),
+                  cl::suggest_eps(index, 3));
     }
 }
 
-TEST(KMeans, PrebuiltMatrixSeedingSeparatesBlobsDeterministically) {
-    // Matrix seeding may legitimately pick a different (equally valid)
+TEST(Dbscan, SuggestEpsTooFewPointsReturnsZero) {
+    // No k-distance sample exists at n <= min_pts: the heuristic must not
+    // invent a radius (the old 0.1 fallback clustered tiny rounds on an
+    // arbitrary eps).
+    const auto points = two_blobs(1, 1, 19);  // 3 points
+    EXPECT_EQ(cl::suggest_eps(points, 3, cl::Metric::kEuclidean), 0.0);
+    EXPECT_EQ(cl::suggest_eps({}, 3, cl::Metric::kEuclidean), 0.0);
+    const cl::DistanceMatrix dist(cl::Metric::kEuclidean, points);
+    EXPECT_EQ(cl::suggest_eps(dist, 3), 0.0);
+    const cl::ExactIndex index(cl::Metric::kEuclidean, points);
+    EXPECT_EQ(cl::suggest_eps(index, 3), 0.0);
+}
+
+TEST(Dbscan, SinglePointIsNoise) {
+    const std::vector<std::vector<float>> points{{1.0F, 2.0F}};
+    const cl::Dbscan dbscan(
+        {.eps = 0.5, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 0);
+    ASSERT_EQ(result.labels.size(), 1U);
+    EXPECT_EQ(result.labels[0], cl::ClusterResult::kNoise);
+}
+
+TEST(Dbscan, FewerPointsThanMinPtsAllNoise) {
+    const auto points = two_blobs(1, 0, 20);  // 2 points < min_pts
+    const cl::Dbscan dbscan(
+        {.eps = 100.0, .min_pts = 3, .metric = cl::Metric::kEuclidean});
+    const auto result = dbscan.cluster(points);
+    EXPECT_EQ(result.num_clusters, 0);
+    for (const int label : result.labels)
+        EXPECT_EQ(label, cl::ClusterResult::kNoise);
+}
+
+TEST(KMeans, PrebuiltIndexSeedingSeparatesBlobsDeterministically) {
+    // Index seeding may legitimately pick a different (equally valid)
     // seed than the points path in ulp-tight ties (see kmeans.hpp), so
     // assert the partition structure and the path's own determinism
     // rather than exact label equality across paths.
@@ -241,16 +292,16 @@ TEST(KMeans, PrebuiltMatrixSeedingSeparatesBlobsDeterministically) {
                              .max_iterations = 50,
                              .metric = cl::Metric::kEuclidean,
                              .seed = 5});
-    const cl::DistanceMatrix dist(cl::Metric::kEuclidean, points);
-    const auto result = kmeans.cluster_with(dist, points);
+    const cl::ExactIndex index(cl::Metric::kEuclidean, points);
+    const auto result = kmeans.cluster_with(index, points);
     EXPECT_EQ(result.num_clusters, 2);
     EXPECT_TRUE(result.same_cluster(0, 1));
     EXPECT_TRUE(result.same_cluster(20, 25));
     EXPECT_FALSE(result.same_cluster(0, 20));
-    EXPECT_EQ(result.labels, kmeans.cluster_with(dist, points).labels);
+    EXPECT_EQ(result.labels, kmeans.cluster_with(index, points).labels);
 }
 
-TEST(KMeans, CosineMatrixSeedingStillSeparatesDirections) {
+TEST(KMeans, CosineIndexSeedingStillSeparatesDirections) {
     std::vector<std::vector<float>> points;
     Rng rng(18);
     for (int i = 0; i < 10; ++i)
@@ -261,8 +312,8 @@ TEST(KMeans, CosineMatrixSeedingStillSeparatesDirections) {
                           0.5F});
     const cl::KMeans kmeans({.k = 2, .metric = cl::Metric::kCosine,
                              .seed = 3});
-    const cl::DistanceMatrix dist(cl::Metric::kCosine, points);
-    const auto result = kmeans.cluster_with(dist, points);
+    const cl::ExactIndex index(cl::Metric::kCosine, points);
+    const auto result = kmeans.cluster_with(index, points);
     EXPECT_EQ(result.num_clusters, 2);
     EXPECT_TRUE(result.same_cluster(0, 5));
     EXPECT_FALSE(result.same_cluster(0, 15));

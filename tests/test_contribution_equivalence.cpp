@@ -92,6 +92,42 @@ TEST(ContributionEquivalence, DefaultEuclideanConfigMatchesPreRefactor) {
                                            -1};
     EXPECT_EQ(report.clustering.labels, expected_labels);
     expect_pinned_scores(report);
+    // The default config routes through the "exact" GradientIndex backend.
+    EXPECT_EQ(report.index_backend, "exact");
+    EXPECT_GT(report.index_build_seconds, 0.0);
+}
+
+// Selecting the exact backend by key must be the identity refactor: same
+// labels, same bit-pinned theta/reward series as the pre-GradientIndex
+// pipeline (the dense matrix wrapped, not reimplemented).
+TEST(ContributionEquivalence, ExplicitExactIndexKeyMatchesPreRefactor) {
+    const Fixture f = make_fixture();
+    for (const auto metric : {cl::Metric::kEuclidean, cl::Metric::kCosine}) {
+        inc::ContributionConfig config;
+        config.index = "exact";
+        config.dbscan.metric = metric;
+        const auto report = inc::identify_contributions(f.updates, f.global,
+                                                        config, f.reference);
+        EXPECT_EQ(report.global_cluster, 0);
+        expect_pinned_scores(report);
+    }
+}
+
+// Approximate backends fall back to the dense matrix below their cost
+// break-even (11 points here), so on this fixture the whole report --
+// clusters, membership, theta, rewards -- is the exact one.
+TEST(ContributionEquivalence, ApproximateBackendsMatchOnSmallRounds) {
+    const Fixture f = make_fixture();
+    for (const char* backend : {"random_projection", "sampled"}) {
+        inc::ContributionConfig config;
+        config.index = backend;
+        const auto report = inc::identify_contributions(f.updates, f.global,
+                                                        config, f.reference);
+        EXPECT_EQ(report.index_backend, backend);
+        EXPECT_EQ(report.global_cluster, 0);
+        EXPECT_EQ(report.clustering.num_clusters, 1);
+        expect_pinned_scores(report);
+    }
 }
 
 TEST(ContributionEquivalence, CosineConfigMatchesPreRefactor) {
@@ -124,14 +160,21 @@ TEST(ContributionEquivalence, ThetaBitIdenticalToDirectCosine) {
         global_delta[j] -= f.reference[j];
 
     for (const auto metric : {cl::Metric::kEuclidean, cl::Metric::kCosine}) {
-        inc::ContributionConfig config;
-        config.dbscan.metric = metric;
-        const auto report = inc::identify_contributions(f.updates, f.global,
-                                                        config, f.reference);
-        for (std::size_t i = 0; i < deltas.size(); ++i) {
-            EXPECT_EQ(report.entries[i].theta,
-                      vm::cosine_distance(deltas[i], global_delta))
-                << "metric=" << static_cast<int>(metric) << " i=" << i;
+        // Theta feeds rewards, so it must stay exact under *every*
+        // backend -- approximate indexes included (they are comparison-
+        // only; the pipeline recomputes theta with the exact kernel).
+        for (const char* backend : {"exact", "random_projection", "sampled"}) {
+            inc::ContributionConfig config;
+            config.index = backend;
+            config.dbscan.metric = metric;
+            const auto report = inc::identify_contributions(
+                f.updates, f.global, config, f.reference);
+            for (std::size_t i = 0; i < deltas.size(); ++i) {
+                EXPECT_EQ(report.entries[i].theta,
+                          vm::cosine_distance(deltas[i], global_delta))
+                    << "metric=" << static_cast<int>(metric) << " i=" << i
+                    << " index=" << backend;
+            }
         }
     }
 }
@@ -159,7 +202,7 @@ TEST(ContributionEquivalence, NoiseFallbackUsesConfiguredMetric) {
     const std::vector<float> global{5.0F, 0.0F};
 
     inc::ContributionConfig config;
-    config.adaptive_eps = false;
+    config.dbscan.adaptive_eps = false;
     config.dbscan.eps = 0.5;
     config.dbscan.min_pts = 3;
 

@@ -49,7 +49,7 @@ std::vector<fl::GradientUpdate> make_round(std::size_t honest,
 
 inc::ContributionConfig default_config() {
     inc::ContributionConfig config;
-    config.adaptive_eps = true;
+    config.dbscan.adaptive_eps = true;
     config.dbscan.min_pts = 3;
     return config;
 }
@@ -113,12 +113,34 @@ TEST(Contribution, IdenticalGradientsSplitRewardEvenly) {
     }
     const auto provisional = fl::simple_average(updates);
     auto config = default_config();
-    config.adaptive_eps = false;
+    config.dbscan.adaptive_eps = false;
     config.dbscan.eps = 0.5;
     const auto report =
         inc::identify_contributions(updates, provisional, config);
     for (const auto& entry : report.entries)
         EXPECT_NEAR(entry.reward, 0.25, 1e-9);
+}
+
+TEST(Contribution, TinyRoundsDegradeToEveryoneHigh) {
+    // With n + 1 points <= min_pts there is no k-distance sample;
+    // suggest_eps returns 0, DBSCAN labels everything noise, and
+    // Algorithm 2 must degrade to plain fair aggregation (everyone high,
+    // rewards still summing to base) -- not cluster on an invented eps.
+    for (const std::size_t n : {1U, 2U}) {
+        auto updates = make_round(n, 0, 10 + n);
+        const auto provisional = fl::simple_average(updates);
+        const auto report = inc::identify_contributions(updates, provisional,
+                                                        default_config());
+        ASSERT_EQ(report.entries.size(), n);
+        EXPECT_EQ(report.clustering.num_clusters, 0) << n;
+        EXPECT_EQ(report.global_cluster, fairbfl::cluster::ClusterResult::kNoise);
+        double total = 0.0;
+        for (const auto& entry : report.entries) {
+            EXPECT_TRUE(entry.high);
+            total += entry.reward;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9) << n;
+    }
 }
 
 TEST(Contribution, EmptyUpdateSetYieldsEmptyReport) {
@@ -145,7 +167,7 @@ TEST(Contribution, KMeansVariantAlsoSeparates) {
     auto updates = make_round(10, 2, 5);
     const auto provisional = fl::simple_average(updates);
     auto config = default_config();
-    config.clustering = inc::ClusteringChoice::kKMeans;
+    config.clustering = "kmeans";
     config.kmeans.k = 2;
     const auto report =
         inc::identify_contributions(updates, provisional, config);
