@@ -16,6 +16,7 @@
 // paper's 784 features (7850 logistic parameters) to keep the distance
 // kernels honest.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 
 #include "cluster/index.hpp"
 #include "core/system.hpp"
+#include "fl/sharding.hpp"
 #include "support/cli.hpp"
 
 using namespace fairbfl;
@@ -55,23 +57,31 @@ std::vector<std::size_t> parse_sweep(const std::string& csv) {
 struct SweepPoint {
     std::size_t clients = 0;
     std::size_t rounds = 0;
-    core::StageWall total;  ///< summed over rounds
+    /// Effective shard-tree fan-out at this point: the requested
+    /// --shards after fl::ShardTree's min-shard-size clamp (small sweep
+    /// points may run fewer shards than the header requests).
+    std::size_t shards_effective = 1;
+    core::StageWall total;  ///< summed over rounds (peak for the bytes)
     double run_seconds = 0.0;
     double final_accuracy = 0.0;
 };
 
 void append_json(std::string& out, const SweepPoint& p) {
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
-        "    {\"clients\": %zu, \"rounds\": %zu,\n"
+        "    {\"clients\": %zu, \"rounds\": %zu, "
+        "\"shards_effective\": %zu,\n"
         "     \"seconds\": {\"local\": %.6f, \"cluster\": %.6f, "
         "\"index_build\": %.6f, "
+        "\"shard_cluster\": %.6f, \"root_cluster\": %.6f, "
         "\"aggregate\": %.6f, \"mine\": %.6f, \"total\": %.6f},\n"
+        "     \"index_peak_bytes\": %zu,\n"
         "     \"run_seconds\": %.6f, \"final_accuracy\": %.4f}",
-        p.clients, p.rounds, p.total.local, p.total.cluster,
-        p.total.index_build, p.total.aggregate, p.total.mine,
-        p.total.total(), p.run_seconds, p.final_accuracy);
+        p.clients, p.rounds, p.shards_effective, p.total.local, p.total.cluster,
+        p.total.index_build, p.total.cluster_shards, p.total.cluster_root,
+        p.total.aggregate, p.total.mine, p.total.total(),
+        p.total.index_peak_bytes, p.run_seconds, p.final_accuracy);
     out += buf;
 }
 
@@ -90,6 +100,8 @@ int main(int argc, char** argv) {
             "  --index=exact          Algorithm-2 neighborhood backend\n"
             "                         (auto|exact|lazy|random_projection|\n"
             "                         sampled)\n"
+            "  --shards=1             hierarchical shard-tree fan-out\n"
+            "                         (1 = flat single-pass Algorithm 2)\n"
             "  --seed=42 --miners=2 --out=FILE");
         return 0;
     }
@@ -103,6 +115,7 @@ int main(int argc, char** argv) {
     const std::string system = args.get_string("system", "fairbfl");
     const std::string engine = args.get_string("engine", "batched");
     const std::string index = args.get_string("index", "exact");
+    const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
     const std::string out_path = args.get_string("out", "");
     if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
     if (engine != "batched" && engine != "reference") {
@@ -135,6 +148,7 @@ int main(int argc, char** argv) {
         spec.fair.fl.seed = seed;
         spec.fair.fl.batched_training = engine == "batched";
         spec.fair.incentive.index = index;
+        spec.fair.incentive.sharding.shards = shards;
         spec.fair.miners = miners;
         spec.fl.batched_training = spec.fair.fl.batched_training;
         spec.fedprox.base.batched_training = spec.fair.fl.batched_training;
@@ -147,22 +161,33 @@ int main(int argc, char** argv) {
         SweepPoint point;
         point.clients = clients;
         point.rounds = run.series.size();
+        // Full participation (ratio 1.0): every round clusters `clients`
+        // updates, so the effective fan-out is the tree's clamp at n.
+        point.shards_effective =
+            fl::ShardTree(spec.fair.incentive.sharding).shard_count(clients);
         point.run_seconds = std::chrono::duration<double>(t1 - t0).count();
         point.final_accuracy = run.final_accuracy;
         for (const auto& p : run.series) {
             point.total.local += p.wall.local;
             point.total.cluster += p.wall.cluster;
             point.total.index_build += p.wall.index_build;
+            point.total.cluster_shards += p.wall.cluster_shards;
+            point.total.cluster_root += p.wall.cluster_root;
             point.total.aggregate += p.wall.aggregate;
             point.total.mine += p.wall.mine;
+            point.total.index_peak_bytes = std::max(
+                point.total.index_peak_bytes, p.wall.index_peak_bytes);
         }
         points.push_back(point);
         std::fprintf(stderr,
-                     "# n=%-4zu local=%.4fs cluster=%.4fs (index=%.4fs) "
-                     "aggregate=%.4fs mine=%.4fs run=%.4fs\n",
+                     "# n=%-4zu local=%.4fs cluster=%.4fs (index=%.4fs, "
+                     "shards=%.4fs, root=%.4fs) "
+                     "aggregate=%.4fs mine=%.4fs peak_index=%zuB run=%.4fs\n",
                      clients, point.total.local, point.total.cluster,
-                     point.total.index_build, point.total.aggregate,
-                     point.total.mine, point.run_seconds);
+                     point.total.index_build, point.total.cluster_shards,
+                     point.total.cluster_root, point.total.aggregate,
+                     point.total.mine, point.total.index_peak_bytes,
+                     point.run_seconds);
     }
 
     std::string json;
@@ -170,11 +195,12 @@ int main(int argc, char** argv) {
     json += "  \"system\": \"" + system + "\",\n";
     json += "  \"engine\": \"" + engine + "\",\n";
     json += "  \"index\": \"" + index + "\",\n";
-    char header[160];
+    char header[192];
     std::snprintf(header, sizeof header,
+                  "  \"shards\": %zu,\n"
                   "  \"rounds\": %zu,\n  \"feature_dim\": %zu,\n"
                   "  \"miners\": %zu,\n  \"seed\": %llu,\n  \"sweep\": [\n",
-                  rounds, dim, miners,
+                  shards, rounds, dim, miners,
                   static_cast<unsigned long long>(seed));
     json += header;
     for (std::size_t i = 0; i < points.size(); ++i) {

@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
             "                       exact|lazy|random_projection|sampled;\n"
             "                       any IndexRegistry key; auto defers to\n"
             "                       the clustering algorithm)\n"
+            "  --shards=N           hierarchical shard-tree fan-out for\n"
+            "                       Algorithm 2 (1 = flat single pass)\n"
             "  --aggregator=NAME    combine rule (simple|sample_weighted|\n"
             "                       fair|trimmed_mean|median)\n"
             "  --list               print every registered backend and exit\n"
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
     const bool discard = args.get_flag("discard");
     const std::string clustering = args.get_string("clustering", "dbscan");
     const std::string index = args.get_string("index", "auto");
+    const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
     const std::string aggregator = args.get_string("aggregator", "");
     const bool encrypt = args.get_flag("encrypt");
     const auto key_bits = static_cast<std::size_t>(
@@ -183,6 +186,7 @@ int main(int argc, char** argv) {
     }
     spec.fair.incentive.clustering = clustering;
     spec.fair.incentive.index = index;
+    spec.fair.incentive.sharding.shards = shards;
     if (!aggregator.empty()) {
         if (spec.system != "fairbfl" && spec.system != "fairbfl_discard" &&
             spec.system != "pure_fl") {

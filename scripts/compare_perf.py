@@ -13,6 +13,13 @@ count regresses by more than the threshold.  Exit code is non-zero only
 with --fail-on-regression (CI warns by default: shared-runner timing noise
 should not block a merge, but it must be visible in the job summary).
 
+Artifacts written since the shard-tree PR additionally carry the
+per-level timings `seconds.shard_cluster` / `seconds.root_cluster` and a
+per-point `index_peak_bytes`; they are displayed when both artifacts have
+them but never gate (a flat run legitimately has zeros there).  Each
+artifact's configuration line (index backend, engine, shard fan-out) is
+printed so the summary says which backend each sweep actually ran.
+
 A missing/unreadable previous artifact is not an error -- the first run on
 a branch has nothing to compare against.
 """
@@ -21,15 +28,31 @@ import argparse
 import json
 import sys
 
+# Gating stages: a regression at the largest sweep point warns/fails.
 # index_build is a sub-component of cluster (new in the GradientIndex PR);
 # artifacts that predate it simply skip that row.
 WATCHED_STAGES = ("local", "cluster", "index_build")
+# Display-only stages (new in the shard-tree PR): per-level timings are
+# informational -- flat runs have zeros, so they must never gate.
+EXTRA_STAGES = ("shard_cluster", "root_cluster")
 
 
-def load_sweep(path):
+def load_artifact(path):
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
-    return {point["clients"]: point["seconds"] for point in data["sweep"]}
+    sweep = {point["clients"]: point["seconds"] for point in data["sweep"]}
+    peak = {point["clients"]: point.get("index_peak_bytes")
+            for point in data["sweep"]}
+    config = {key: data.get(key)
+              for key in ("index", "engine", "system", "shards")}
+    return sweep, peak, config
+
+
+def describe(label, config):
+    parts = [f"{key}={config[key]}" for key in
+             ("system", "engine", "index", "shards")
+             if config.get(key) is not None]
+    print(f"- {label}: {', '.join(parts) if parts else 'unknown config'}")
 
 
 def main():
@@ -42,12 +65,12 @@ def main():
     args = parser.parse_args()
 
     try:
-        previous = load_sweep(args.previous)
+        previous, prev_peak, prev_config = load_artifact(args.previous)
     except (OSError, ValueError, KeyError) as error:
         print(f"No previous perf artifact to compare against ({error}).")
         return 0
     try:
-        current = load_sweep(args.current)
+        current, curr_peak, curr_config = load_artifact(args.current)
     except (OSError, ValueError, KeyError) as error:
         print(f"::warning::cannot read current perf artifact: {error}")
         return 1
@@ -59,11 +82,14 @@ def main():
 
     print("### bench_perf_round vs previous artifact")
     print()
+    describe("previous", prev_config)
+    describe("current", curr_config)
+    print()
     print("| clients | stage | previous s | current s | change |")
     print("|--------:|-------|-----------:|----------:|-------:|")
     regressions = []
     for clients in common:
-        for stage in WATCHED_STAGES:
+        for stage in WATCHED_STAGES + EXTRA_STAGES:
             prev = previous[clients].get(stage)
             curr = current[clients].get(stage)
             if not prev or curr is None:
@@ -71,9 +97,19 @@ def main():
             change = (curr - prev) / prev
             print(f"| {clients} | {stage} | {prev:.4f} | {curr:.4f} "
                   f"| {change:+.1%} |")
-            if clients == common[-1] and change > args.threshold:
+            if (stage in WATCHED_STAGES and clients == common[-1]
+                    and change > args.threshold):
                 regressions.append((clients, stage, change))
     print()
+
+    # Peak per-pass index memory, when both artifacts record it.
+    largest = common[-1]
+    if prev_peak.get(largest) and curr_peak.get(largest) is not None:
+        prev_b, curr_b = prev_peak[largest], curr_peak[largest]
+        ratio = prev_b / curr_b if curr_b else float("inf")
+        print(f"index_peak_bytes at {largest} clients: {prev_b} -> {curr_b} "
+              f"({ratio:.1f}x previous)")
+        print()
 
     for clients, stage, change in regressions:
         print(f"::warning::seconds.{stage} at {clients} clients regressed "
@@ -82,7 +118,6 @@ def main():
     if regressions and args.fail_on_regression:
         return 2
     if not regressions:
-        largest = common[-1]
         print(f"No stage regression above {args.threshold:.0%} at "
               f"{largest} clients.")
     return 0

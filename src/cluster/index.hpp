@@ -86,11 +86,15 @@ public:
     /// Approximate backends answer in their own geometry (sketch space,
     /// pivot-profile space); values are mutually comparable within one
     /// index but not across backends.
+    /// \param i first point ordinal, in [0, size()).
+    /// \param j second point ordinal, in [0, size()).
     [[nodiscard]] virtual double distance(std::size_t i,
                                           std::size_t j) const = 0;
 
     /// Points j (ascending, self included) with distance(i, j) <= eps --
     /// the DBSCAN neighbourhood query.
+    /// \param i   query point ordinal.
+    /// \param eps neighbourhood radius, in this index's own geometry.
     [[nodiscard]] virtual std::vector<std::size_t> neighbors_within(
         std::size_t i, double eps) const;
 
@@ -98,11 +102,16 @@ public:
     /// candidate wins ties (callers pass candidates in ascending order to
     /// keep argmin tie-breaks deterministic).  Requires a non-empty
     /// candidate set.
+    /// \param i          query point ordinal.
+    /// \param candidates point ordinals to rank, ascending for stable
+    ///                   tie-breaks; must be non-empty.
     [[nodiscard]] virtual std::size_t nearest_of(
         std::size_t i, std::span<const std::size_t> candidates) const;
 
     /// Fills out[j] = distance(i, j) for every j (out.size() == size()) --
     /// the row query behind suggest_eps's k-distance sample.
+    /// \param i   query point ordinal.
+    /// \param out destination row; must hold exactly size() entries.
     virtual void distances_from(std::size_t i, std::span<double> out) const;
 
     /// True when distance() is the exact pairwise metric (no projection or
@@ -116,6 +125,15 @@ public:
     /// back only when this is set.
     [[nodiscard]] virtual bool precomputed_rows() const noexcept {
         return false;
+    }
+
+    /// Bytes of storage this index owns beyond the borrowed points: the
+    /// dense matrix, sketches' matrix, or pivot-signature table.  Zero for
+    /// backends that precompute nothing ("lazy").  This is the number the
+    /// shard tree (fl/sharding.hpp) caps per pass -- the per-round memory
+    /// ceiling reported as `index_peak_bytes` in perf artifacts.
+    [[nodiscard]] virtual std::size_t storage_bytes() const noexcept {
+        return 0;
     }
 };
 
@@ -145,6 +163,11 @@ public:
     [[nodiscard]] bool precomputed_rows() const noexcept override {
         return true;
     }
+    /// The dense n x n value table plus the cached per-point norms.
+    [[nodiscard]] std::size_t storage_bytes() const noexcept override {
+        return (matrix_.size() * matrix_.size() + matrix_.norms().size()) *
+               sizeof(double);
+    }
 
     [[nodiscard]] const DistanceMatrix& matrix() const noexcept {
         return matrix_;
@@ -163,10 +186,16 @@ class ExactIndex final : public MatrixBackedIndex {
 public:
     /// Builds the pairwise matrix over `points` (the O(n^2 d) job, row
     /// fan-out on `pool`).
+    /// \param metric geometry of every stored distance.
+    /// \param points the round's point set; not borrowed (values copied
+    ///               into the matrix during the build).
+    /// \param pool   carries the row fan-out; values are identical for
+    ///               any pool size.
     ExactIndex(Metric metric, std::span<const std::vector<float>> points,
                support::ThreadPool& pool = support::ThreadPool::global())
         : MatrixBackedIndex(DistanceMatrix(metric, points, pool)) {}
     /// Adopts a prebuilt matrix.
+    /// \param matrix dense pairwise distances to serve queries from.
     explicit ExactIndex(DistanceMatrix matrix) noexcept
         : MatrixBackedIndex(std::move(matrix)) {}
 
@@ -185,6 +214,10 @@ public:
 /// prefer "exact" there.
 class LazyIndex final : public GradientIndex {
 public:
+    /// Borrows `points`; the caller keeps them alive for the index's
+    /// lifetime.
+    /// \param metric geometry every query computes in.
+    /// \param points the round's point set, borrowed.
     LazyIndex(Metric metric,
               std::span<const std::vector<float>> points) noexcept
         : metric_(metric), points_(points) {}
@@ -223,6 +256,10 @@ private:
 /// approximation only engages at the scale where it pays.
 class RandomProjectionIndex final : public MatrixBackedIndex {
 public:
+    /// Projects, then builds the dense sketch-space matrix.
+    /// \param points the round's point set; not borrowed after the build.
+    /// \param params projection_dims (k), seed, and the query metric.
+    /// \param pool   carries the projection and matrix fan-out.
     RandomProjectionIndex(
         std::span<const std::vector<float>> points, const IndexParams& params,
         support::ThreadPool& pool = support::ThreadPool::global());
@@ -257,6 +294,11 @@ private:
 /// matrix would outgrow it.
 class SampledIndex final : public GradientIndex {
 public:
+    /// Samples the pivots and fills the signature table.
+    /// \param points the round's point set; not borrowed after the build.
+    /// \param params pivot count (m), sampling seed, and the metric the
+    ///               profiles are measured in.
+    /// \param pool   carries the per-point signature fan-out.
     SampledIndex(std::span<const std::vector<float>> points,
                  const IndexParams& params,
                  support::ThreadPool& pool = support::ThreadPool::global());
@@ -266,13 +308,17 @@ public:
     }
     [[nodiscard]] std::size_t size() const noexcept override { return n_; }
     [[nodiscard]] Metric metric() const noexcept override { return metric_; }
+    /// Trimmed-RMS difference between the two pivot-distance profiles
+    /// (exact matrix lookup in the small-n fallback).
+    /// \param i first point ordinal.
+    /// \param j second point ordinal.
     [[nodiscard]] double distance(std::size_t i, std::size_t j) const override;
 
     /// Pivot count actually in use; 0 in the small-n dense fallback.
     [[nodiscard]] std::size_t pivot_count() const noexcept { return pivots_; }
     /// Bytes held by the index storage: the n x m signature table, or the
     /// dense matrix in the small-n fallback.
-    [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    [[nodiscard]] std::size_t storage_bytes() const noexcept override {
         return (signatures_.size() + dense_.size() * dense_.size()) *
                sizeof(double);
     }
@@ -298,6 +344,10 @@ public:
     /// Builds the backend `name` over `points`.  Throws std::out_of_range
     /// listing the known names when it is not registered.  The backend may
     /// borrow `points` (see GradientIndex); keep them alive.
+    /// \param name   registry key of the backend to build.
+    /// \param points the round's point set (updates + provisional global).
+    /// \param params backend tuning; `metric` selects the geometry.
+    /// \param pool   carries whatever fan-out the backend's build does.
     [[nodiscard]] std::unique_ptr<GradientIndex> build(
         std::string_view name, std::span<const std::vector<float>> points,
         const IndexParams& params,

@@ -74,7 +74,20 @@ struct StageWall {
     /// Sub-component of `cluster`: building the round's GradientIndex
     /// (dense matrix / projection sketches / pivot signatures).  Already
     /// counted inside `cluster`, so total() must not add it again.
+    /// Hierarchical rounds sum every pass's build.
     double index_build = 0.0;
+    /// Shard-tree sub-components of `cluster` (ContributionConfig::
+    /// sharding, shards > 1; zero on flat rounds).  `cluster_shards` sums
+    /// the S shard-level passes' seconds -- on multi-core it exceeds the
+    /// stage wall exactly when the fan-out overlaps -- and `cluster_root`
+    /// is the root pass over the shard summaries.  Like index_build, both
+    /// are already inside `cluster`; total() must not add them again.
+    double cluster_shards = 0.0;
+    double cluster_root = 0.0;
+    /// Peak GradientIndex storage of any single Algorithm-2 pass this
+    /// round, in bytes -- the memory counterpart riding along the perf
+    /// record (perf JSON `index_peak_bytes`; not a time, not in total()).
+    std::size_t index_peak_bytes = 0;
 
     [[nodiscard]] double total() const noexcept {
         return local + cluster + aggregate + mine;

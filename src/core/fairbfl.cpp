@@ -215,6 +215,10 @@ BflRoundRecord FairBfl::run_round() {
                 contribution_->identify(final_updates, provisional, weights_);
         }
         record.wall.index_build += report.index_build_seconds;
+        record.wall.cluster_shards += report.shard_seconds;
+        record.wall.cluster_root += report.root_seconds;
+        record.wall.index_peak_bytes =
+            std::max(record.wall.index_peak_bytes, report.index_peak_bytes);
         clustered_points = final_updates.size() + 1;
         // An explicitly configured aggregator governs the settlement
         // combine as well; the default keeps Eq. 1 exactly.

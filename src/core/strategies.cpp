@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "incentive/hierarchical.hpp"
+
 namespace fairbfl::core {
 
 namespace {
@@ -178,6 +180,39 @@ public:
 
 // --- Incentive policies ----------------------------------------------------
 
+/// Shard-tree Algorithm 2 (incentive/hierarchical.hpp): S independent
+/// shard-level passes plus a root pass over the survivor summaries.  The
+/// returned report is flat-compatible and carries the root-level
+/// settlement, which the default (Eq. 1) reward path returns directly.
+/// An explicitly configured Aggregator still governs the combine instead
+/// (see RewardPolicy::settle): a robust rule like trimmed_mean must not
+/// be bypassed by the tree, so it runs flat over the hierarchical
+/// survivors while detection and rewards keep the hierarchical labels.
+class ShardTreeContribution final : public ContributionPolicy {
+public:
+    explicit ShardTreeContribution(incentive::ContributionConfig config)
+        : config_(std::move(config)),
+          name_("shard_tree(" + config_.clustering + "/" + config_.index +
+                "/x" + std::to_string(config_.sharding.shards) + ")") {}
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return name_;
+    }
+
+    [[nodiscard]] incentive::ContributionReport identify(
+        std::span<const fl::GradientUpdate> updates,
+        std::span<const float> provisional_global,
+        std::span<const float> reference) const override {
+        return incentive::identify_contributions_hierarchical(
+                   updates, provisional_global, config_, reference)
+            .report;
+    }
+
+private:
+    incentive::ContributionConfig config_;
+    std::string name_;
+};
+
 class ClusteredContribution final : public ContributionPolicy {
 public:
     explicit ClusteredContribution(incentive::ContributionConfig config)
@@ -315,6 +350,8 @@ std::shared_ptr<const ConsensusEngine> make_consensus(std::string_view name) {
 
 std::shared_ptr<const ContributionPolicy> make_contribution_policy(
     const incentive::ContributionConfig& config) {
+    if (config.sharding.shards > 1)
+        return std::make_shared<ShardTreeContribution>(config);
     return std::make_shared<ClusteredContribution>(config);
 }
 

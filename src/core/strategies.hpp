@@ -119,7 +119,10 @@ public:
 };
 
 /// Algorithm 2: clustering (DBSCAN or k-means per `config`) + cosine
-/// scores.
+/// scores.  With `config.sharding.shards > 1` the returned policy is the
+/// hierarchical shard tree (incentive/hierarchical.hpp): per-shard passes
+/// plus a root pass, reported flat-compatibly with the settlement
+/// precomputed.
 [[nodiscard]] std::shared_ptr<const ContributionPolicy>
 make_contribution_policy(const incentive::ContributionConfig& config);
 
@@ -133,9 +136,12 @@ public:
 
     /// Applies the strategy to pick the surviving updates, then combines
     /// them: with `aggregator == nullptr` via Eq. 1 exactly
-    /// (incentive::apply_strategy); with an explicit aggregator via its
-    /// score-weighted form, so a robust rule governs the final global
-    /// update too.
+    /// (incentive::apply_strategy -- which returns a shard tree's
+    /// precomputed root settlement when the report carries one); with an
+    /// explicit aggregator via its score-weighted form, so a robust rule
+    /// governs the final global update too -- including under sharding,
+    /// where it intentionally overrides the tree's Eq. 1 settlement and
+    /// combines the hierarchical survivors flat.
     [[nodiscard]] virtual std::vector<float> settle(
         std::span<const fl::GradientUpdate> updates,
         const incentive::ContributionReport& report,

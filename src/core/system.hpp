@@ -55,23 +55,48 @@ struct SystemSpec {
     DelayParams delay;                   ///< delay model for fedavg/fedprox
 };
 
-/// Convenience constructors, one per built-in system.
+// Convenience constructors, one per built-in system.  Each takes the
+// family configuration its factory reads, the run name (empty = the
+// factory's default), and -- for the chainless systems -- the shared
+// delay model.
+
+/// Spec for classic FedAvg under the shared delay model.
+/// \param config FL hyperparameters (rounds, ratio, SGD, seed).
+/// \param delay  delay-model calibration for the simulated T components.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec fedavg_spec(const fl::FlConfig& config,
                                      const DelayParams& delay,
                                      std::string label = "");
+/// Spec for FedProx (proximal FedAvg with stragglers).
+/// \param config FedProx configuration (base FL + mu + drop rate).
+/// \param delay  delay-model calibration for the simulated T components.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec fedprox_spec(const fl::FedProxConfig& config,
                                       const DelayParams& delay,
                                       std::string label = "");
+/// Spec for the full FAIR-BFL round (Algorithms 1 + 2).
+/// \param config the complete FAIR-BFL configuration.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec fairbfl_spec(const FairBflConfig& config,
                                       std::string label = "");
 /// FAIR-BFL degraded to pure FL (Procedures III and V off -- Figure 3).
+/// \param config the complete FAIR-BFL configuration.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec pure_fl_spec(const FairBflConfig& config,
                                       std::string label = "");
 /// FAIR-BFL with the discarding strategy (§5.3).
+/// \param config the complete FAIR-BFL configuration.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec fairbfl_discard_spec(const FairBflConfig& config,
                                               std::string label = "");
+/// Spec for vanilla (non-fair, forking) BFL.
+/// \param config the vanilla-BFL configuration.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec vanilla_bfl_spec(const VanillaBflConfig& config,
                                           std::string label = "");
+/// Spec for the pure-blockchain baseline (no learning).
+/// \param config the baseline's workload configuration.
+/// \param label  run name; empty = the factory default.
 [[nodiscard]] SystemSpec blockchain_spec(
     const BlockchainBaselineConfig& config, std::string label = "");
 
@@ -119,14 +144,22 @@ public:
 
     /// Registers a factory.  Throws std::invalid_argument when `name` is
     /// already taken, unless `replace` is set.
+    /// \param name    registry key the factory will answer to.
+    /// \param factory builds the system from an environment and a spec.
+    /// \param replace overwrite an existing registration instead of
+    ///                throwing.
     void add(std::string name, Factory factory, bool replace = false);
 
+    /// True when a factory is registered under `name`.
+    /// \param name registry key to look up.
     [[nodiscard]] bool contains(std::string_view name) const;
     /// Registered names, sorted.
     [[nodiscard]] std::vector<std::string> names() const;
 
     /// Builds the system `spec.system` names.  Throws std::out_of_range
     /// listing the known names when it is not registered.
+    /// \param env  the shared world (dataset, partition, model).
+    /// \param spec which system to build, with its configuration.
     [[nodiscard]] std::unique_ptr<System> make(const Environment& env,
                                                const SystemSpec& spec) const;
 
@@ -141,6 +174,9 @@ private:
 /// Builds the spec's system, runs its rounds, and returns the finalized
 /// SystemRun -- the single entry point every bench and example goes
 /// through.
+/// \param env      the shared world (dataset, partition, model).
+/// \param spec     which system to run, with its configuration.
+/// \param registry factory table to resolve `spec.system` in.
 [[nodiscard]] SystemRun run_system(
     const Environment& env, const SystemSpec& spec,
     const SystemRegistry& registry = SystemRegistry::global());
@@ -150,6 +186,11 @@ private:
 /// each system draws only from its own (seed, stream, round) Rng forks, so
 /// results are identical to running the specs serially.  The first
 /// exception (in spec order) is rethrown after all workers finish.
+/// \param env      the shared world every spec runs against.
+/// \param specs    the sweep, one spec per run.
+/// \param pool     carries the per-spec fan-out; results are identical
+///                 for any pool size.
+/// \param registry factory table to resolve each spec's system in.
 [[nodiscard]] std::vector<SystemRun> run_suite(
     const Environment& env, std::span<const SystemSpec> specs,
     support::ThreadPool& pool = support::ThreadPool::global(),

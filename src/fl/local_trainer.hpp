@@ -33,11 +33,20 @@ public:
         support::ThreadPool* pool = nullptr;
     };
 
+    /// Engine with default options (batched kernels, global pool).
     LocalTrainer() noexcept : LocalTrainer(Options{}) {}
+    /// Engine with explicit options.
+    /// \param options engine selection and fan-out pool.
     explicit LocalTrainer(Options options) noexcept : options_(options) {}
 
     /// Runs the selected clients' local updates in parallel and returns
     /// them in selection order.  Bit-identical to fl::run_local_updates.
+    /// \param clients        the full client population (stable ids).
+    /// \param selected       ids of this round's participants.
+    /// \param global_weights w_r, the weights every client starts from.
+    /// \param sgd            local SGD hyperparameters (Algorithm 1).
+    /// \param round          round ordinal, keys each client's Rng fork.
+    /// \param root_seed      experiment seed, keys each client's Rng fork.
     [[nodiscard]] std::vector<GradientUpdate> run(
         const std::vector<Client>& clients,
         const std::vector<std::size_t>& selected,

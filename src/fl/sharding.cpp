@@ -1,0 +1,31 @@
+#include "fl/sharding.hpp"
+
+#include <algorithm>
+
+namespace fairbfl::fl {
+
+std::size_t ShardTree::shard_count(std::size_t n) const noexcept {
+    if (n == 0) return 1;
+    const std::size_t floor_size =
+        std::max<std::size_t>(config_.min_shard_clients, 1);
+    // Largest S with n / S >= floor_size, capped by the request.
+    const std::size_t supportable = std::max<std::size_t>(n / floor_size, 1);
+    return std::clamp<std::size_t>(config_.shards, 1, supportable);
+}
+
+std::vector<ShardRange> ShardTree::plan(std::size_t n) const {
+    const std::size_t shards = shard_count(n);
+    std::vector<ShardRange> ranges;
+    ranges.reserve(shards);
+    const std::size_t base = n / shards;
+    const std::size_t extra = n % shards;  // first `extra` shards take +1
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t size = base + (s < extra ? 1 : 0);
+        ranges.push_back({begin, begin + size});
+        begin += size;
+    }
+    return ranges;
+}
+
+}  // namespace fairbfl::fl

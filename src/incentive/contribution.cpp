@@ -77,6 +77,7 @@ ContributionReport identify_contributions(
                                       build_start)
             .count();
     report.index_backend = index->name();
+    report.index_peak_bytes = index->storage_bytes();
 
     report.clustering = algorithm->cluster_with(*index, points);
     report.global_cluster = report.clustering.labels[global_index];
@@ -216,6 +217,11 @@ SurvivorSelection select_survivors(
 std::vector<float> apply_strategy(std::span<const fl::GradientUpdate> updates,
                                   const ContributionReport& report,
                                   LowContributionStrategy strategy) {
+    // Hierarchical rounds arrive pre-settled: the shard tree already
+    // applied the strategy per shard and combined per level (see
+    // incentive/hierarchical.hpp); re-running flat Eq. 1 here would undo
+    // the root-level weighting.
+    if (!report.settled_weights.empty()) return report.settled_weights;
     const SurvivorSelection selection =
         select_survivors(updates, report, strategy);
     if (selection.degenerate()) {
