@@ -192,6 +192,9 @@ int main(int argc, char** argv) {
 
     std::string json;
     json += "{\n  \"bench\": \"bench_perf_round\",\n";
+    // Bumped when keys change shape; compare_perf.py warns (never crashes)
+    // on artifacts from another version.  2 = telemetry-derived stages.
+    json += "  \"schema_version\": 2,\n";
     json += "  \"system\": \"" + system + "\",\n";
     json += "  \"engine\": \"" + engine + "\",\n";
     json += "  \"index\": \"" + index + "\",\n";

@@ -10,12 +10,15 @@
 //       [--save-chain=chain.bin] [--csv=out.csv]
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "chain/storage.hpp"
 #include "core/system.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "telemetry/decode.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace fairbfl;
 
@@ -75,7 +78,9 @@ int main(int argc, char** argv) {
             "  --encrypt --keybits=N   sign (and encrypt) uploads\n"
             "  --prox-mu=F --drop=F    (fedprox)\n"
             "  --save-chain=PATH       export the ledger after the run\n"
-            "  --csv=PATH              mirror the series to a file");
+            "  --csv=PATH              mirror the series to a file\n"
+            "  --trace=PATH            dump the run's telemetry event log\n"
+            "  --trace-format=binary|text|json   (default binary)");
         return 0;
     }
 
@@ -92,6 +97,8 @@ int main(int argc, char** argv) {
         print_names("clustering", cluster::ClusteringRegistry::global().names());
         print_names("index", cluster::IndexRegistry::global().names());
         print_names("aggregators", core::aggregator_names());
+        std::printf("trace formats: binary text json (--trace=PATH "
+                    "--trace-format=...)\n");
         return 0;
     }
 
@@ -143,7 +150,18 @@ int main(int argc, char** argv) {
     const double drop = args.get_double("drop", 0.0);
     const std::string save_chain_path = args.get_string("save-chain", "");
     const std::string csv_path = args.get_string("csv", "");
+    const std::string trace_path = args.get_string("trace", "");
+    const std::string trace_format =
+        args.get_string("trace-format", "binary");
     if (!args.finish("fairbfl_sim")) return 1;
+    if (trace_format != "binary" && trace_format != "text" &&
+        trace_format != "json") {
+        std::fprintf(stderr,
+                     "--trace-format: unknown format '%s' (known: binary "
+                     "text json)\n",
+                     trace_format.c_str());
+        return 1;
+    }
 
     const core::Environment env = core::build_environment(env_config);
 
@@ -230,8 +248,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "warning: cannot write %s\n", csv_path.c_str());
     csv.header({"round", "delay_s", "elapsed_s", "accuracy"});
 
+    // The capture retains every record the round loop emits (all sessions
+    // plus ambient streams); it is independent of the systems' per-round
+    // harvests, which keep consuming their own sessions as usual.
+    if (!trace_path.empty()) telemetry::capture_begin();
     for (std::size_t r = 0; r < spec.rounds; ++r) (void)runner->run_round();
     core::SystemRun run = runner->finalize();
+    if (!trace_path.empty()) {
+        const telemetry::Dump dump = telemetry::capture_end();
+        bool written = false;
+        if (trace_format == "binary") {
+            written = dump.save(trace_path);
+        } else {
+            std::ofstream file(trace_path);
+            if (file) {
+                file << (trace_format == "text" ? telemetry::to_text(dump)
+                                                : telemetry::to_json(dump));
+                written = file.good();
+            }
+        }
+        if (written) {
+            std::fprintf(stderr, "# trace: %zu records -> %s (%s)\n",
+                         dump.records.size(), trace_path.c_str(),
+                         trace_format.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        }
+    }
     const chain::Blockchain* ledger = runner->blockchain();
     for (const auto& point : run.series) {
         csv.row()

@@ -22,11 +22,22 @@ printed so the summary says which backend each sweep actually ran.
 
 A missing/unreadable previous artifact is not an error -- the first run on
 a branch has nothing to compare against.
+
+Schema tolerance: artifacts carry a `schema_version` (added in the
+telemetry PR, version 2).  An artifact with a missing or different version
+is still compared -- stage keys are read defensively, and anything unknown
+or absent produces a `::warning::` annotation instead of a crash, so the
+gate keeps working across artifact generations.
 """
 
 import argparse
 import json
 import sys
+
+# The artifact generation this script was written against.  Older
+# artifacts (no schema_version) and newer ones are compared best-effort
+# with a warning, never a crash.
+KNOWN_SCHEMA_VERSION = 2
 
 # Gating stages: a regression at the largest sweep point warns/fails.
 # index_build is a sub-component of cluster (new in the GradientIndex PR);
@@ -35,14 +46,47 @@ WATCHED_STAGES = ("local", "cluster", "index_build")
 # Display-only stages (new in the shard-tree PR): per-level timings are
 # informational -- flat runs have zeros, so they must never gate.
 EXTRA_STAGES = ("shard_cluster", "root_cluster")
+# Every stage key this script understands; anything else in `seconds` is
+# from another schema generation and only warned about.
+KNOWN_STAGES = set(WATCHED_STAGES + EXTRA_STAGES + ("aggregate", "mine",
+                                                    "total"))
 
 
-def load_artifact(path):
+def check_schema(label, data):
+    """Warn (never raise) about schema drift in one artifact."""
+    version = data.get("schema_version")
+    if version is None:
+        print(f"::warning::{label} perf artifact has no schema_version "
+              f"(predates v{KNOWN_SCHEMA_VERSION}); comparing best-effort")
+    elif version != KNOWN_SCHEMA_VERSION:
+        print(f"::warning::{label} perf artifact has schema_version "
+              f"{version} (this script knows {KNOWN_SCHEMA_VERSION}); "
+              f"comparing best-effort")
+    unknown = set()
+    missing = set()
+    for point in data.get("sweep", []):
+        seconds = point.get("seconds")
+        if not isinstance(seconds, dict):
+            missing.add("seconds")
+            continue
+        unknown |= set(seconds) - KNOWN_STAGES
+        missing |= set(WATCHED_STAGES) - set(seconds)
+    if unknown:
+        print(f"::warning::{label} perf artifact has unknown stage keys: "
+              f"{', '.join(sorted(unknown))} (ignored)")
+    if missing:
+        print(f"::warning::{label} perf artifact is missing stage keys: "
+              f"{', '.join(sorted(missing))} (those rows are skipped)")
+
+
+def load_artifact(path, label):
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
-    sweep = {point["clients"]: point["seconds"] for point in data["sweep"]}
+    check_schema(label, data)
+    sweep = {point["clients"]: point.get("seconds", {})
+             for point in data.get("sweep", []) if "clients" in point}
     peak = {point["clients"]: point.get("index_peak_bytes")
-            for point in data["sweep"]}
+            for point in data.get("sweep", []) if "clients" in point}
     config = {key: data.get(key)
               for key in ("index", "engine", "system", "shards")}
     return sweep, peak, config
@@ -65,12 +109,14 @@ def main():
     args = parser.parse_args()
 
     try:
-        previous, prev_peak, prev_config = load_artifact(args.previous)
+        previous, prev_peak, prev_config = load_artifact(args.previous,
+                                                         "previous")
     except (OSError, ValueError, KeyError) as error:
         print(f"No previous perf artifact to compare against ({error}).")
         return 0
     try:
-        current, curr_peak, curr_config = load_artifact(args.current)
+        current, curr_peak, curr_config = load_artifact(args.current,
+                                                        "current")
     except (OSError, ValueError, KeyError) as error:
         print(f"::warning::cannot read current perf artifact: {error}")
         return 1
@@ -92,7 +138,9 @@ def main():
         for stage in WATCHED_STAGES + EXTRA_STAGES:
             prev = previous[clients].get(stage)
             curr = current[clients].get(stage)
-            if not prev or curr is None:
+            if not isinstance(prev, (int, float)) or not prev:
+                continue
+            if not isinstance(curr, (int, float)):
                 continue
             change = (curr - prev) / prev
             print(f"| {clients} | {stage} | {prev:.4f} | {curr:.4f} "

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/rng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fairbfl::cluster {
 
@@ -199,6 +200,17 @@ void register_builtin_indexes(IndexRegistry& registry) {
 }
 
 }  // namespace
+
+std::unique_ptr<GradientIndex> IndexRegistry::build(
+    std::string_view name, std::span<const std::vector<float>> points,
+    const IndexParams& params, support::ThreadPool& pool) const {
+    telemetry::Span span(telemetry::labels::index_build());
+    std::unique_ptr<GradientIndex> index = find(name)(points, params, pool);
+    span.close();
+    telemetry::counter_max(telemetry::labels::index_bytes(),
+                           index->storage_bytes());
+    return index;
+}
 
 IndexRegistry& IndexRegistry::global() {
     static IndexRegistry* registry = [] {

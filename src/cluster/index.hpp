@@ -343,7 +343,10 @@ public:
 
     /// Builds the backend `name` over `points`.  Throws std::out_of_range
     /// listing the known names when it is not registered.  The backend may
-    /// borrow `points` (see GradientIndex); keep them alive.
+    /// borrow `points` (see GradientIndex); keep them alive.  Every build
+    /// is instrumented: a "cluster.index_build" telemetry span plus a
+    /// "cluster.index_bytes" max-counter of the result's storage_bytes()
+    /// (the source of perf JSON `seconds.index_build` / `index_peak_bytes`).
     /// \param name   registry key of the backend to build.
     /// \param points the round's point set (updates + provisional global).
     /// \param params backend tuning; `metric` selects the geometry.
@@ -351,9 +354,7 @@ public:
     [[nodiscard]] std::unique_ptr<GradientIndex> build(
         std::string_view name, std::span<const std::vector<float>> points,
         const IndexParams& params,
-        support::ThreadPool& pool = support::ThreadPool::global()) const {
-        return find(name)(points, params, pool);
-    }
+        support::ThreadPool& pool = support::ThreadPool::global()) const;
 
     /// The process-wide registry, built-ins pre-registered.
     static IndexRegistry& global();

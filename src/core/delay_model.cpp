@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace fairbfl::core {
+
+namespace {
+
+/// The delay components are *simulated* seconds; telemetry records carry
+/// integer values, so they ride along as nanosecond counters
+/// (delay.*_ns).  Negative/NaN guards are unnecessary: every component is
+/// a sum/max of non-negative draws.
+std::uint64_t sim_ns(double seconds) noexcept {
+    return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
 
 DelayModel::DelayModel(DelayParams params) noexcept
     : params_(params), network_(params.network) {}
@@ -25,6 +39,8 @@ double DelayModel::t_local(std::span<const std::size_t> client_ids,
                          hetero_factor(client_ids[i], seed);
         slowest = std::max(slowest, t);
     }
+    telemetry::counter_add(telemetry::labels::delay_local_ns(),
+                           sim_ns(slowest));
     return slowest;
 }
 
@@ -35,20 +51,29 @@ double DelayModel::t_up(std::size_t clients, std::size_t payload_bytes,
         slowest =
             std::max(slowest, network_.client_upload_seconds(payload_bytes, rng));
     }
+    telemetry::counter_add(telemetry::labels::delay_up_ns(),
+                           sim_ns(slowest));
     return slowest;
 }
 
 double DelayModel::t_ex(std::size_t miners, std::size_t set_bytes,
                         support::Rng& rng) const {
-    return network_.exchange_seconds(miners, set_bytes, rng);
+    const double seconds = network_.exchange_seconds(miners, set_bytes, rng);
+    telemetry::counter_add(telemetry::labels::delay_ex_ns(),
+                           sim_ns(seconds));
+    return seconds;
 }
 
 double DelayModel::t_gl(std::size_t updates,
                         std::size_t clustered_points) const noexcept {
-    return params_.seconds_per_aggregated_update *
-               static_cast<double>(updates) +
-           params_.seconds_per_clustered_pair *
-               static_cast<double>(clustered_points * clustered_points);
+    const double seconds = params_.seconds_per_aggregated_update *
+                               static_cast<double>(updates) +
+                           params_.seconds_per_clustered_pair *
+                               static_cast<double>(clustered_points *
+                                                   clustered_points);
+    telemetry::counter_add(telemetry::labels::delay_gl_ns(),
+                           sim_ns(seconds));
+    return seconds;
 }
 
 double DelayModel::t_bl_fair(std::size_t miners, std::size_t block_bytes,
@@ -60,7 +85,11 @@ double DelayModel::t_bl_fair(std::size_t miners, std::size_t block_bytes,
         chain::uniform_miners(miners, params_.miner_hashes_per_second /
                                           static_cast<double>(miners)),
         network_, params_.difficulty);
-    return race.run(block_bytes, /*allow_forks=*/false, rng).total_seconds();
+    const double seconds =
+        race.run(block_bytes, /*allow_forks=*/false, rng).total_seconds();
+    telemetry::counter_add(telemetry::labels::delay_bl_ns(),
+                           sim_ns(seconds));
+    return seconds;
 }
 
 double DelayModel::t_bl_vanilla(std::size_t miners, std::size_t blocks,
@@ -89,6 +118,7 @@ double DelayModel::t_bl_vanilla(std::size_t miners, std::size_t blocks,
     }
     if (forks_out != nullptr) *forks_out = forks;
     if (merge_seconds_out != nullptr) *merge_seconds_out = merge_seconds;
+    telemetry::counter_add(telemetry::labels::delay_bl_ns(), sim_ns(total));
     return total;
 }
 

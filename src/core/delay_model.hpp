@@ -12,6 +12,7 @@
 
 #include "chain/mining_race.hpp"
 #include "chain/network.hpp"
+#include "core/stage_wall.hpp"  // deprecated StageWall shim (moved out)
 #include "support/rng.hpp"
 
 namespace fairbfl::core {
@@ -59,38 +60,6 @@ struct RoundDelay {
 
     [[nodiscard]] double total() const noexcept {
         return t_local + t_up + t_ex + t_gl + t_bl;
-    }
-};
-
-/// *Measured* wall-clock seconds of one round's pipeline stages on the
-/// host -- the perf counterpart of the *simulated* RoundDelay above.
-/// bench_perf_round sums these per sweep point to track the real cost of
-/// each stage across PRs.  Stages a system does not execute stay zero.
-struct StageWall {
-    double local = 0.0;      ///< Procedure I: local learning
-    double cluster = 0.0;    ///< Algorithm 2: index + clustering + theta
-    double aggregate = 0.0;  ///< provisional combine + reward settlement
-    double mine = 0.0;       ///< Procedure V: consensus + chain submit
-    /// Sub-component of `cluster`: building the round's GradientIndex
-    /// (dense matrix / projection sketches / pivot signatures).  Already
-    /// counted inside `cluster`, so total() must not add it again.
-    /// Hierarchical rounds sum every pass's build.
-    double index_build = 0.0;
-    /// Shard-tree sub-components of `cluster` (ContributionConfig::
-    /// sharding, shards > 1; zero on flat rounds).  `cluster_shards` sums
-    /// the S shard-level passes' seconds -- on multi-core it exceeds the
-    /// stage wall exactly when the fan-out overlaps -- and `cluster_root`
-    /// is the root pass over the shard summaries.  Like index_build, both
-    /// are already inside `cluster`; total() must not add them again.
-    double cluster_shards = 0.0;
-    double cluster_root = 0.0;
-    /// Peak GradientIndex storage of any single Algorithm-2 pass this
-    /// round, in bytes -- the memory counterpart riding along the perf
-    /// record (perf JSON `index_peak_bytes`; not a time, not in total()).
-    std::size_t index_peak_bytes = 0;
-
-    [[nodiscard]] double total() const noexcept {
-        return local + cluster + aggregate + mine;
     }
 };
 

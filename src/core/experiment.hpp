@@ -70,8 +70,10 @@ struct SeriesPoint {
     double delay_seconds = 0.0;    ///< d_i
     double elapsed_seconds = 0.0;  ///< cumulative sum of d_i
     double accuracy = 0.0;         ///< acc_i (0 for pure blockchain)
-    /// Measured host wall time per stage (bench_perf_round); zero for
-    /// systems that do not report it.
+    /// Measured host wall time per stage (bench_perf_round) -- the
+    /// deprecated StageWall shim, derived per round from the telemetry
+    /// event log by core::stage_wall_from.  Zero for systems that do not
+    /// report it and when FAIRBFL_TELEMETRY is off.
     StageWall wall;
 };
 

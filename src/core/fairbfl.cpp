@@ -1,7 +1,6 @@
 #include "core/fairbfl.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "crypto/hybrid.hpp"
@@ -9,30 +8,6 @@
 #include "support/logging.hpp"
 
 namespace fairbfl::core {
-
-namespace {
-
-/// Accumulates host wall-clock seconds into a StageWall field while in
-/// scope.  Measurement only -- never feeds the simulated delay model or
-/// any seeded arithmetic, so the fixed-seed series are unaffected.
-class StageStopwatch {
-public:
-    explicit StageStopwatch(double& sink) noexcept
-        : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
-    ~StageStopwatch() {
-        *sink_ += std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count();
-    }
-    StageStopwatch(const StageStopwatch&) = delete;
-    StageStopwatch& operator=(const StageStopwatch&) = delete;
-
-private:
-    double* sink_;
-    std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
 
 FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
                  ml::DatasetView test_set, FairBflConfig config)
@@ -82,7 +57,24 @@ BflRoundRecord FairBfl::run_round() {
     const std::uint64_t round = round_++;
     BflRoundRecord record;
     record.fl.round = round;
+    {
+        // Every span/counter of the round -- including those emitted from
+        // pool workers that inherit this context at their fan-out sites --
+        // is tagged with this system's session and the round number.
+        const telemetry::ContextScope scope(
+            telemetry_.context(static_cast<std::uint32_t>(round)));
+        round_body(round, record);
+    }
+    // All spans are closed (fan-outs joined inside round_body), so the
+    // harvest sees the complete round; the StageWall shim -- and through
+    // it every perf_round.json `seconds.*` key -- is derived from the
+    // event log rather than written by stopwatches.
+    record.wall =
+        stage_wall_from(telemetry_.harvest(static_cast<std::uint32_t>(round)));
+    return record;
+}
 
+void FairBfl::round_body(std::uint64_t round, BflRoundRecord& record) {
     // Common-random-numbers discipline: every delay component draws from
     // its own (seed, round)-keyed stream, so two configurations of the
     // same experiment (e.g. FAIR vs FAIR-Discard) see identical network
@@ -103,7 +95,7 @@ BflRoundRecord FairBfl::run_round() {
     // --- Procedure I: local learning (parallel across clients).
     std::vector<fl::GradientUpdate> updates;
     {
-        const StageStopwatch watch(record.wall.local);
+        const telemetry::Span span(telemetry::labels::round_local());
         updates = trainer_.run(clients_, selected, weights_, config_.fl.sgd,
                                round, config_.fl.seed);
     }
@@ -194,7 +186,7 @@ BflRoundRecord FairBfl::run_round() {
         // Nothing arrived (all clients benched/dropped): keep weights.
         record.fl.test_accuracy = model_->accuracy(weights_, test_set_);
         record.chain_height = chain_.height();
-        return record;
+        return;
     }
 
     // --- Procedure IV: provisional combine (line 24), Algorithm 2
@@ -202,28 +194,26 @@ BflRoundRecord FairBfl::run_round() {
     // its strategy object.
     std::vector<float> provisional;
     {
-        const StageStopwatch watch(record.wall.aggregate);
+        const telemetry::Span span(telemetry::labels::round_aggregate());
         provisional = aggregator_->aggregate(final_updates);
     }
     std::size_t clustered_points = 0;
     if (config_.enable_incentive) {
         // Cluster on effective gradients: weights_ still holds w_r here.
+        // The index-build / shard-pass / root-pass sub-spans and the
+        // index-bytes counter are emitted inside identify's callees
+        // (cluster::IndexRegistry::build, incentive/hierarchical.cpp).
         incentive::ContributionReport report;
         {
-            const StageStopwatch watch(record.wall.cluster);
+            const telemetry::Span span(telemetry::labels::round_cluster());
             report =
                 contribution_->identify(final_updates, provisional, weights_);
         }
-        record.wall.index_build += report.index_build_seconds;
-        record.wall.cluster_shards += report.shard_seconds;
-        record.wall.cluster_root += report.root_seconds;
-        record.wall.index_peak_bytes =
-            std::max(record.wall.index_peak_bytes, report.index_peak_bytes);
         clustered_points = final_updates.size() + 1;
         // An explicitly configured aggregator governs the settlement
         // combine as well; the default keeps Eq. 1 exactly.
         {
-            const StageStopwatch watch(record.wall.aggregate);
+            const telemetry::Span span(telemetry::labels::round_aggregate());
             weights_ = reward_->settle(
                 final_updates, report,
                 config_.aggregator ? aggregator_.get() : nullptr);
@@ -246,7 +236,7 @@ BflRoundRecord FairBfl::run_round() {
 
     // --- Procedure V: the winner packs the block; consensus accepts it.
     if (config_.stage_mining) {
-        const StageStopwatch watch(record.wall.mine);
+        const telemetry::Span span(telemetry::labels::round_mine());
         chain::Block block;
         block.header.index = chain_.tip().header.index + 1;
         block.header.prev_hash = chain_.tip().header.hash();
@@ -305,7 +295,6 @@ BflRoundRecord FairBfl::run_round() {
     for (const auto& u : final_updates) loss_sum += u.local_loss;
     record.fl.mean_local_loss =
         loss_sum / static_cast<double>(final_updates.size());
-    return record;
 }
 
 std::vector<BflRoundRecord> FairBfl::run(std::size_t rounds) {

@@ -31,6 +31,7 @@
 #include "fl/local_trainer.hpp"
 #include "incentive/contribution.hpp"
 #include "incentive/reward.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fairbfl::core {
 
@@ -82,7 +83,11 @@ struct FairBflConfig {
 struct BflRoundRecord {
     fl::RoundRecord fl;                      ///< accuracy / loss / counts
     RoundDelay delay;                        ///< paper's T components
-    StageWall wall;                          ///< measured host wall time
+    /// Measured host wall time, derived from the round's telemetry
+    /// harvest via core::stage_wall_from (zeros when FAIRBFL_TELEMETRY is
+    /// off).  Deprecated shim -- new consumers should harvest the
+    /// telemetry session directly.
+    StageWall wall;
     std::vector<fl::NodeId> attacker_clients;
     std::vector<fl::NodeId> low_contribution_clients;  ///< Table 2 "Drop Index"
     double detection_rate = 1.0;             ///< Table 2 row metric
@@ -118,10 +123,22 @@ public:
     [[nodiscard]] const std::vector<fl::Client>& clients() const noexcept {
         return clients_;
     }
+    /// The system's telemetry session (one per instance; its id tags every
+    /// record this system emits).  Exposed so tests and tools can harvest
+    /// or cross-check against a captured dump.
+    [[nodiscard]] const telemetry::Session& telemetry_session()
+        const noexcept {
+        return telemetry_;
+    }
 
 private:
     /// E * ceil(|D_i| / B) batch steps for the delay model.
     [[nodiscard]] std::size_t batch_steps_of(std::size_t client_id) const;
+
+    /// The five procedures of one round, executed under the round's
+    /// telemetry context; run_round() wraps it and derives record.wall
+    /// from the harvest.
+    void round_body(std::uint64_t round, BflRoundRecord& record);
 
     const ml::Model* model_;
     std::vector<fl::Client> clients_;
@@ -138,6 +155,10 @@ private:
     crypto::KeyStore keys_;
     chain::Blockchain chain_;
     incentive::RewardLedger ledger_;
+    /// Event-log session: all of this system's spans/counters route here,
+    /// harvested once per round (keeps concurrent run_suite systems'
+    /// events separated).
+    telemetry::Session telemetry_;
     std::vector<float> weights_;
     std::uint64_t round_ = 0;
     /// Clients flagged low-contribution last round; under the discard

@@ -1,0 +1,19 @@
+#include "core/stage_wall.hpp"
+
+namespace fairbfl::core {
+
+StageWall stage_wall_from(const telemetry::RoundStats& stats) {
+    StageWall wall;
+    wall.local = stats.seconds_of("round.local");
+    wall.cluster = stats.seconds_of("round.cluster");
+    wall.aggregate = stats.seconds_of("round.aggregate");
+    wall.mine = stats.seconds_of("round.mine");
+    wall.index_build = stats.seconds_of("cluster.index_build");
+    wall.cluster_shards = stats.seconds_of("cluster.shard_pass");
+    wall.cluster_root = stats.seconds_of("cluster.root_pass");
+    wall.index_peak_bytes =
+        static_cast<std::size_t>(stats.max_of("cluster.index_bytes"));
+    return wall;
+}
+
+}  // namespace fairbfl::core

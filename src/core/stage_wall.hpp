@@ -1,0 +1,69 @@
+#pragma once
+// Deprecated StageWall shim over the telemetry event log.
+//
+// StageWall used to be the primary instrument: every producer wrote its
+// wall clocks directly into these fields.  The telemetry subsystem
+// (src/telemetry/telemetry.hpp) replaced that -- producers now emit spans
+// and counters, and FairBfl derives this struct from the harvested
+// statistics via stage_wall_from() so existing consumers (SeriesPoint,
+// bench_perf_round, the sharding tests) keep working for one release.
+// New code should consume telemetry::RoundStats (or a decoded dump)
+// directly; this struct will be removed once no consumer is left.
+
+#include <cstddef>
+
+#include "telemetry/telemetry.hpp"
+
+namespace fairbfl::core {
+
+/// *Measured* wall-clock seconds of one round's pipeline stages on the
+/// host -- the perf counterpart of the *simulated* RoundDelay
+/// (core/delay_model.hpp).  bench_perf_round sums these per sweep point to
+/// track the real cost of each stage across PRs.  Stages a system does not
+/// execute stay zero.
+///
+/// Deprecated: a fixed struct of per-stage clocks cannot describe
+/// overlapping stages.  Populated from the telemetry log by
+/// stage_wall_from(); do not write the fields directly.
+struct StageWall {
+    double local = 0.0;      ///< Procedure I: local learning
+    double cluster = 0.0;    ///< Algorithm 2: index + clustering + theta
+    double aggregate = 0.0;  ///< provisional combine + reward settlement
+    double mine = 0.0;       ///< Procedure V: consensus + chain submit
+    /// Sub-component of `cluster`: building the round's GradientIndex
+    /// (dense matrix / projection sketches / pivot signatures).  Already
+    /// counted inside `cluster`, so total() must not add it again.
+    /// Hierarchical rounds sum every pass's build.
+    double index_build = 0.0;
+    /// Shard-tree sub-components of `cluster` (ContributionConfig::
+    /// sharding, shards > 1; zero on flat rounds).  `cluster_shards` sums
+    /// the S shard-level passes' seconds -- on multi-core it exceeds the
+    /// stage wall exactly when the fan-out overlaps -- and `cluster_root`
+    /// is the root pass over the shard summaries.  Like index_build, both
+    /// are already inside `cluster`; total() must not add them again.
+    double cluster_shards = 0.0;
+    double cluster_root = 0.0;
+    /// Peak GradientIndex storage of any single Algorithm-2 pass this
+    /// round, in bytes -- the memory counterpart riding along the perf
+    /// record (perf JSON `index_peak_bytes`; not a time, not in total()).
+    std::size_t index_peak_bytes = 0;
+
+    [[nodiscard]] double total() const noexcept {
+        return local + cluster + aggregate + mine;
+    }
+};
+
+/// Derives the shim from one round's harvested statistics.  The label ->
+/// field mapping must match telemetry::to_json's stage derivation (pinned
+/// in tests/test_telemetry.cpp):
+///   local           <- span "round.local"
+///   cluster         <- span "round.cluster"
+///   aggregate       <- span "round.aggregate"
+///   mine            <- span "round.mine"
+///   index_build     <- span "cluster.index_build"
+///   cluster_shards  <- span "cluster.shard_pass"
+///   cluster_root    <- span "cluster.root_pass"
+///   index_peak_bytes<- max counter "cluster.index_bytes"
+[[nodiscard]] StageWall stage_wall_from(const telemetry::RoundStats& stats);
+
+}  // namespace fairbfl::core

@@ -1,5 +1,7 @@
 #include "fl/local_trainer.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace fairbfl::fl {
 
 std::vector<GradientUpdate> LocalTrainer::run(
@@ -13,10 +15,16 @@ std::vector<GradientUpdate> LocalTrainer::run(
     support::ThreadPool& pool =
         options_.pool != nullptr ? *options_.pool
                                  : support::ThreadPool::global();
+    // Round context captured on the calling thread so the per-client spans
+    // emitted from pool workers carry the round's session/round/parent.
+    const telemetry::Context ctx = telemetry::current_context();
     support::parallel_for(
         0, selected.size(),
         [&](std::size_t slot) {
             const std::size_t id = selected[slot];
+            const telemetry::ContextScope scope(
+                ctx.with_item(static_cast<std::uint32_t>(id)));
+            const telemetry::Span span(telemetry::labels::local_client());
             const Client& client = clients[id];
             ClientCache& cache = cache_[id];
             const ml::PackedBatch* pack = nullptr;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "support/vecmath.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fairbfl::incentive {
 
@@ -28,6 +29,11 @@ ContributionReport identify_contributions(
     std::span<const float> reference) {
     ContributionReport report;
     if (updates.empty()) return report;
+    // One span per Algorithm-2 pass: the flat round's single pass, or --
+    // under the shard tree -- each shard pass and the root pass (their
+    // item ordinal distinguishes them in the decoded log).  The index
+    // build inside emits its own "cluster.index_build" sub-span.
+    const telemetry::Span span(telemetry::labels::identify());
 
     // Points = all updates followed by the provisional global update, so a
     // single clustering call implements "w_{r+1} in l_i" membership tests.

@@ -1,18 +1,13 @@
 #include "incentive/hierarchical.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
+
+#include "telemetry/telemetry.hpp"
 
 namespace fairbfl::incentive {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// What one shard-level pass forwards upward.
 struct ShardOutcome {
@@ -58,10 +53,17 @@ HierarchicalReport identify_contributions_hierarchical(
     // deterministic at any pool size.
     const std::vector<fl::ShardRange> plan = tree.plan(updates.size());
     std::vector<ShardOutcome> outcomes(shards);
+    // Captured *here*, on the round's thread: workers inherit the round's
+    // session/round tags and parent their shard-pass spans under the
+    // caller's open span, reconstructing the cross-thread fan-out in the
+    // decoded log.
+    const telemetry::Context ctx = telemetry::current_context();
     support::parallel_for(
         0, shards,
         [&](std::size_t s) {
-            const auto start = Clock::now();
+            const telemetry::ContextScope scope(
+                ctx.with_item(static_cast<std::uint32_t>(s)));
+            telemetry::Span span(telemetry::labels::shard_pass());
             const std::span<const fl::GradientUpdate> shard_updates =
                 updates.subspan(plan[s].begin, plan[s].size());
             ShardOutcome& outcome = outcomes[s];
@@ -69,14 +71,14 @@ HierarchicalReport identify_contributions_hierarchical(
                 shard_updates, provisional_global, config, reference);
             outcome.summary = apply_strategy(shard_updates, outcome.report,
                                              config.strategy);
-            outcome.stats = stats_of(s, outcome.report, seconds_since(start));
+            outcome.stats = stats_of(s, outcome.report, span.close());
         },
         pool);
 
     // --- Root level: the S survivor summaries are pseudo-updates; the
     // same flat pass clusters them against the provisional global and
     // settles the round (Eq. 1 over the surviving summaries).
-    const auto root_start = Clock::now();
+    telemetry::Span root_span(telemetry::labels::root_pass());
     std::vector<fl::GradientUpdate> summaries(shards);
     for (std::size_t s = 0; s < shards; ++s) {
         summaries[s].client = static_cast<fl::NodeId>(s);
@@ -88,7 +90,7 @@ HierarchicalReport identify_contributions_hierarchical(
         summaries, provisional_global, config, reference);
     std::vector<float> settled =
         apply_strategy(summaries, root, config.strategy);
-    const double root_seconds = seconds_since(root_start);
+    const double root_seconds = root_span.close();
 
     // --- Compose the flat-compatible round report.  Shares compose
     // multiplicatively: both levels' rewards sum to `base` (the flat pass

@@ -1,0 +1,582 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fairbfl::telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Label registry --------------------------------------------------------
+// Interning takes a mutex (startup/first-use only); id -> name lookups copy
+// a string_view out of storage that is never freed, so they are safe from
+// any thread without the lock once the entry exists.
+
+struct LabelRegistry {
+    std::mutex mutex;
+    std::unordered_map<std::string, Label> ids;
+    std::vector<const std::string*> names;  // index = id - 1, leaked strings
+
+    Label intern(std::string_view name) {
+        std::lock_guard lock(mutex);
+        const auto it = ids.find(std::string(name));
+        if (it != ids.end()) return it->second;
+        if (names.size() >= 0xFFFEU)
+            throw std::length_error("telemetry: label table full");
+        auto* stored = new std::string(name);  // leaked: ids must stay valid
+        const Label id = static_cast<Label>(names.size() + 1);
+        names.push_back(stored);
+        ids.emplace(*stored, id);
+        return id;
+    }
+
+    std::string_view name(Label id) {
+        std::lock_guard lock(mutex);
+        if (id == 0 || id > names.size()) return "?";
+        return *names[id - 1];
+    }
+};
+
+LabelRegistry& label_registry() {
+    static LabelRegistry* registry = new LabelRegistry;  // leaked: no
+    return *registry;  // shutdown-order hazard for late thread exits
+}
+
+// --- Per-thread ring buffer ------------------------------------------------
+
+/// SPSC ring: the owning thread produces (put), consumers drain under the
+/// collector mutex.  Capacity is a power of two; head/tail are monotonic
+/// u64 positions, masked on access.
+class ThreadBuffer {
+public:
+    static constexpr std::size_t kCapacity = 4096;  // 192 KiB per thread
+    static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+    explicit ThreadBuffer(std::uint16_t slot) noexcept : slot_(slot) {}
+
+    [[nodiscard]] std::uint16_t slot() const noexcept { return slot_; }
+
+    /// Next span id: unique per process without a shared atomic --
+    /// (slot << 40) | per-thread sequence.  Never returns 0.
+    [[nodiscard]] std::uint64_t next_span_id() noexcept {
+        return (static_cast<std::uint64_t>(slot_) << 40) | ++span_seq_;
+    }
+
+    /// Hot path: one slot store + one release store.  Self-flushes through
+    /// the collector only when the ring is full (the buffer-full flush of
+    /// the protocol).
+    void put(const Record& record) noexcept;
+
+    /// Consumer side; must hold the collector mutex.  Returns the drained
+    /// range via the callback to avoid intermediate copies.
+    template <typename Route>
+    void drain_locked(Route&& route) {
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        for (; tail != head; ++tail)
+            route(ring_[tail & (kCapacity - 1)]);
+        tail_.store(head, std::memory_order_release);
+    }
+
+private:
+    Record ring_[kCapacity];
+    std::atomic<std::uint64_t> head_{0};  ///< owner writes (release)
+    std::atomic<std::uint64_t> tail_{0};  ///< consumers write under the lock
+    std::uint64_t span_seq_ = 0;
+    std::uint16_t slot_;
+};
+
+// --- Collector -------------------------------------------------------------
+
+class Collector {
+public:
+    Collector() : epoch_(Clock::now()) {}
+
+    static Collector& instance() {
+        static Collector* collector = new Collector;  // leaked: thread-exit
+        return *collector;  // retires must outlive static destruction
+    }
+
+    [[nodiscard]] std::uint64_t now_ns() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - epoch_)
+                .count());
+    }
+
+    ThreadBuffer* adopt() {
+        std::lock_guard lock(mutex_);
+        buffers_.push_back(
+            std::make_unique<ThreadBuffer>(next_slot_++));
+        return buffers_.back().get();
+    }
+
+    void retire(ThreadBuffer* buffer) {
+        std::lock_guard lock(mutex_);
+        buffer->drain_locked([this](const Record& r) { route(r); });
+        for (std::size_t i = 0; i < buffers_.size(); ++i) {
+            if (buffers_[i].get() == buffer) {
+                buffers_.erase(buffers_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+
+    void drain_one(ThreadBuffer* buffer) {
+        std::lock_guard lock(mutex_);
+        buffer->drain_locked([this](const Record& r) { route(r); });
+    }
+
+    void drain_all() {
+        std::lock_guard lock(mutex_);
+        for (auto& buffer : buffers_)
+            buffer->drain_locked([this](const Record& r) { route(r); });
+    }
+
+    std::uint32_t open_session() {
+        std::lock_guard lock(mutex_);
+        const std::uint32_t id = next_session_++;
+        sessions_.emplace(id, std::vector<Record>{});
+        return id;
+    }
+
+    void close_session(std::uint32_t id) {
+        std::lock_guard lock(mutex_);
+        sessions_.erase(id);
+    }
+
+    /// drain_all + move the session's pending records out.
+    std::vector<Record> harvest_session(std::uint32_t id) {
+        std::lock_guard lock(mutex_);
+        for (auto& buffer : buffers_)
+            buffer->drain_locked([this](const Record& r) { route(r); });
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) return {};
+        std::vector<Record> taken = std::move(it->second);
+        it->second.clear();
+        return taken;
+    }
+
+    void capture_begin() {
+        std::lock_guard lock(mutex_);
+        // Flush stale records first: the capture holds only records
+        // emitted after this call.
+        for (auto& buffer : buffers_)
+            buffer->drain_locked([this](const Record& r) { route(r); });
+        capturing_ = true;
+        capture_.clear();
+    }
+
+    std::vector<Record> capture_end() {
+        std::lock_guard lock(mutex_);
+        for (auto& buffer : buffers_)
+            buffer->drain_locked([this](const Record& r) { route(r); });
+        capturing_ = false;
+        return std::move(capture_);
+    }
+
+    [[nodiscard]] bool capture_active() noexcept {
+        std::lock_guard lock(mutex_);
+        return capturing_;
+    }
+
+    [[nodiscard]] std::uint64_t dropped() noexcept {
+        std::lock_guard lock(mutex_);
+        return dropped_;
+    }
+
+private:
+    /// Routing, under the mutex: capture first (preserves global order),
+    /// then the owning session's pending list; otherwise count and drop.
+    void route(const Record& record) {
+        if (capturing_) capture_.push_back(record);
+        if (record.session != 0) {
+            const auto it = sessions_.find(record.session);
+            if (it != sessions_.end()) {
+                it->second.push_back(record);
+                return;
+            }
+        }
+        if (!capturing_) ++dropped_;
+    }
+
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::unordered_map<std::uint32_t, std::vector<Record>> sessions_;
+    std::vector<Record> capture_;
+    bool capturing_ = false;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t next_session_ = 1;
+    std::uint16_t next_slot_ = 1;
+    Clock::time_point epoch_;
+};
+
+void ThreadBuffer::put(const Record& record) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == kCapacity) {
+        // Ring full: the documented buffer-full flush.  The owner drains
+        // its own ring through the collector (the one place the writer
+        // thread ever takes a lock), then continues.
+        Collector::instance().drain_one(this);
+    }
+    ring_[head & (kCapacity - 1)] = record;
+    head_.store(head + 1, std::memory_order_release);
+}
+
+// --- Thread-local state ----------------------------------------------------
+
+struct TlsState {
+    ThreadBuffer* buffer = nullptr;
+    Context context;
+    std::uint64_t open_span = 0;  ///< innermost open span on this thread
+    std::uint8_t depth = 0;
+
+    ~TlsState() {
+        if (buffer != nullptr) Collector::instance().retire(buffer);
+    }
+};
+
+thread_local TlsState tls;
+
+ThreadBuffer& local_buffer() {
+    if (tls.buffer == nullptr) tls.buffer = Collector::instance().adopt();
+    return *tls.buffer;
+}
+
+// --- Enabled switch --------------------------------------------------------
+
+std::atomic<int> g_enabled{-1};  // -1: consult the environment on first use
+
+bool read_env_enabled() noexcept {
+    const char* env = std::getenv("FAIRBFL_TELEMETRY");
+    if (env == nullptr) return true;
+    const std::string_view value(env);
+    return !(value == "off" || value == "0" || value == "false");
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+    int state = g_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = read_env_enabled() ? 1 : 0;
+        g_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void set_enabled(bool on) noexcept {
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t dropped_records() noexcept {
+    return Collector::instance().dropped();
+}
+
+void flush_all() { Collector::instance().drain_all(); }
+
+Label intern(std::string_view name) {
+    return label_registry().intern(name);
+}
+
+std::string_view label_name(Label id) { return label_registry().name(id); }
+
+// --- Context ---------------------------------------------------------------
+
+Context current_context() noexcept {
+    Context ctx = tls.context;
+    if (tls.open_span != 0) ctx.parent = tls.open_span;
+    return ctx;
+}
+
+ContextScope::ContextScope(const Context& ctx) noexcept
+    : saved_(tls.context) {
+    tls.context = ctx;
+}
+
+ContextScope::~ContextScope() { tls.context = saved_; }
+
+// --- Spans and counters ----------------------------------------------------
+
+namespace {
+
+Record make_record(RecordKind kind, Label label, std::uint64_t time_ns,
+                   std::uint64_t value, std::uint64_t parent,
+                   std::uint8_t depth, std::uint16_t thread) noexcept {
+    Record record;
+    record.time_ns = time_ns;
+    record.value = value;
+    record.parent = parent;
+    record.session = tls.context.session;
+    record.round = tls.context.round;
+    record.item = tls.context.item;
+    record.label = label;
+    record.thread = thread;
+    record.kind = kind;
+    record.depth = depth;
+    return record;
+}
+
+}  // namespace
+
+Span::Span(Label label) noexcept {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    label_ = label;
+    id_ = buffer.next_span_id();
+    parent_ = tls.open_span != 0 ? tls.open_span : tls.context.parent;
+    prev_open_ = tls.open_span;
+    start_ns_ = Collector::instance().now_ns();
+    buffer.put(make_record(RecordKind::kSpanBegin, label, start_ns_, id_,
+                           parent_, tls.depth, buffer.slot()));
+    tls.open_span = id_;
+    if (tls.depth < 0xFF) ++tls.depth;
+    active_ = true;
+}
+
+double Span::close() noexcept {
+    if (!active_) return 0.0;
+    active_ = false;
+    ThreadBuffer& buffer = local_buffer();
+    const std::uint64_t end_ns = Collector::instance().now_ns();
+    if (tls.depth > 0) --tls.depth;
+    buffer.put(make_record(RecordKind::kSpanEnd, label_, end_ns, id_,
+                           parent_, tls.depth, buffer.slot()));
+    tls.open_span = prev_open_;
+    return static_cast<double>(end_ns - start_ns_) * 1e-9;
+}
+
+double Span::seconds() const noexcept {
+    if (id_ == 0) return 0.0;
+    return static_cast<double>(Collector::instance().now_ns() - start_ns_) *
+           1e-9;
+}
+
+void counter_add(Label label, std::uint64_t value) noexcept {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    buffer.put(make_record(RecordKind::kCounterAdd, label,
+                           Collector::instance().now_ns(), value,
+                           tls.open_span, tls.depth, buffer.slot()));
+}
+
+void counter_max(Label label, std::uint64_t value) noexcept {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    buffer.put(make_record(RecordKind::kCounterMax, label,
+                           Collector::instance().now_ns(), value,
+                           tls.open_span, tls.depth, buffer.slot()));
+}
+
+// --- Statistics ------------------------------------------------------------
+
+double RoundStats::seconds_of(std::string_view label) const {
+    const auto it = labels.find(label);
+    return it == labels.end() ? 0.0 : it->second.span_seconds;
+}
+
+std::uint64_t RoundStats::sum_of(std::string_view label) const {
+    const auto it = labels.find(label);
+    return it == labels.end() ? 0 : it->second.counter_sum;
+}
+
+std::uint64_t RoundStats::max_of(std::string_view label) const {
+    const auto it = labels.find(label);
+    return it == labels.end() ? 0 : it->second.counter_max;
+}
+
+RoundStats round_stats(std::span<const Record> records,
+                       std::string_view (*name_of)(Label, const void* arg),
+                       const void* arg, std::uint32_t session,
+                       std::uint32_t round) {
+    RoundStats stats;
+    stats.session = session;
+    stats.round = round;
+    // Open spans: begin time by span id, consumed by the matching end.
+    std::unordered_map<std::uint64_t, std::uint64_t> begins;
+    for (const Record& record : records) {
+        if (record.session != session || record.round != round) continue;
+        ++stats.records;
+        LabelStats& label =
+            stats.labels[std::string(name_of(record.label, arg))];
+        ++label.events;
+        switch (record.kind) {
+            case RecordKind::kSpanBegin:
+                begins.emplace(record.value, record.time_ns);
+                break;
+            case RecordKind::kSpanEnd: {
+                const auto it = begins.find(record.value);
+                if (it == begins.end()) break;  // begin predates this slice
+                label.span_seconds +=
+                    static_cast<double>(record.time_ns - it->second) * 1e-9;
+                ++label.spans;
+                begins.erase(it);
+                break;
+            }
+            case RecordKind::kCounterAdd:
+                label.counter_sum += record.value;
+                break;
+            case RecordKind::kCounterMax:
+                label.counter_max =
+                    std::max(label.counter_max, record.value);
+                break;
+        }
+    }
+    stats.open_spans = begins.size();
+    return stats;
+}
+
+RoundStats round_stats(std::span<const Record> records, std::uint32_t session,
+                       std::uint32_t round) {
+    return round_stats(
+        records,
+        [](Label id, const void*) { return label_name(id); }, nullptr,
+        session, round);
+}
+
+// --- Sessions --------------------------------------------------------------
+
+Session::Session() : id_(Collector::instance().open_session()) {}
+
+Session::~Session() { Collector::instance().close_session(id_); }
+
+RoundStats Session::harvest(std::uint32_t round) {
+    const std::vector<Record> records =
+        Collector::instance().harvest_session(id_);
+    return round_stats(records, id_, round);
+}
+
+// --- Dump ------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kDumpMagic = 0x4C544246U;  // "FBTL" little-endian
+constexpr std::uint16_t kDumpVersion = 1;
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& value) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte> bytes, std::size_t& offset) {
+    if (offset + sizeof(T) > bytes.size())
+        throw std::invalid_argument("telemetry dump: truncated stream");
+    T value;
+    std::memcpy(&value, bytes.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+}
+
+}  // namespace
+
+std::string_view Dump::name_of(Label id) const {
+    for (const LabelEntry& entry : labels)
+        if (entry.id == id) return entry.name;
+    return "?";
+}
+
+std::vector<std::byte> Dump::encode() const {
+    std::vector<std::byte> out;
+    out.reserve(24 + labels.size() * 24 + records.size() * sizeof(Record));
+    append_pod(out, kDumpMagic);
+    append_pod(out, kDumpVersion);
+    append_pod(out, static_cast<std::uint16_t>(sizeof(Record)));
+    append_pod(out, static_cast<std::uint32_t>(labels.size()));
+    for (const LabelEntry& entry : labels) {
+        append_pod(out, entry.id);
+        append_pod(out, static_cast<std::uint16_t>(entry.name.size()));
+        const auto* bytes =
+            reinterpret_cast<const std::byte*>(entry.name.data());
+        out.insert(out.end(), bytes, bytes + entry.name.size());
+    }
+    append_pod(out, static_cast<std::uint64_t>(records.size()));
+    const auto* bytes = reinterpret_cast<const std::byte*>(records.data());
+    out.insert(out.end(), bytes, bytes + records.size() * sizeof(Record));
+    return out;
+}
+
+Dump Dump::decode(std::span<const std::byte> bytes) {
+    std::size_t offset = 0;
+    if (read_pod<std::uint32_t>(bytes, offset) != kDumpMagic)
+        throw std::invalid_argument("telemetry dump: bad magic");
+    if (read_pod<std::uint16_t>(bytes, offset) != kDumpVersion)
+        throw std::invalid_argument("telemetry dump: unknown version");
+    if (read_pod<std::uint16_t>(bytes, offset) != sizeof(Record))
+        throw std::invalid_argument("telemetry dump: record size mismatch");
+    Dump dump;
+    const std::uint32_t label_count = read_pod<std::uint32_t>(bytes, offset);
+    dump.labels.reserve(label_count);
+    for (std::uint32_t i = 0; i < label_count; ++i) {
+        LabelEntry entry;
+        entry.id = read_pod<Label>(bytes, offset);
+        const std::uint16_t length = read_pod<std::uint16_t>(bytes, offset);
+        if (offset + length > bytes.size())
+            throw std::invalid_argument("telemetry dump: truncated label");
+        entry.name.assign(
+            reinterpret_cast<const char*>(bytes.data() + offset), length);
+        offset += length;
+        dump.labels.push_back(std::move(entry));
+    }
+    const std::uint64_t record_count = read_pod<std::uint64_t>(bytes, offset);
+    if (offset + record_count * sizeof(Record) > bytes.size())
+        throw std::invalid_argument("telemetry dump: truncated records");
+    dump.records.resize(record_count);
+    std::memcpy(dump.records.data(), bytes.data() + offset,
+                record_count * sizeof(Record));
+    return dump;
+}
+
+bool Dump::save(const std::string& path) const {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) return false;
+    const std::vector<std::byte> bytes = encode();
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    return file.good();
+}
+
+std::optional<Dump> Dump::load(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return std::nullopt;
+    std::vector<char> raw((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+    try {
+        return Dump::decode(std::as_bytes(std::span<const char>(raw)));
+    } catch (const std::invalid_argument&) {
+        return std::nullopt;
+    }
+}
+
+void capture_begin() { Collector::instance().capture_begin(); }
+
+Dump capture_end() {
+    Dump dump;
+    dump.records = Collector::instance().capture_end();
+    // Snapshot the live label table so the dump decodes standalone.
+    LabelRegistry& registry = label_registry();
+    std::lock_guard lock(registry.mutex);
+    dump.labels.reserve(registry.names.size());
+    for (std::size_t i = 0; i < registry.names.size(); ++i) {
+        dump.labels.push_back(
+            {static_cast<Label>(i + 1), *registry.names[i]});
+    }
+    return dump;
+}
+
+bool capture_active() noexcept {
+    return Collector::instance().capture_active();
+}
+
+}  // namespace fairbfl::telemetry
