@@ -54,6 +54,25 @@ std::vector<std::size_t> parse_sweep(const std::string& csv) {
     return sweep;
 }
 
+/// Per-stage wall-clock totals summed over a sweep point's rounds (peak
+/// for the bytes).  Bench-local on purpose: the JSON schema below is
+/// pinned to these fields, not to the deprecated core::StageWall shim,
+/// so the bench survives the shim's removal unchanged.
+struct StageTotals {
+    double local = 0.0;
+    double cluster = 0.0;
+    double aggregate = 0.0;
+    double mine = 0.0;
+    double index_build = 0.0;
+    double cluster_shards = 0.0;
+    double cluster_root = 0.0;
+    std::size_t index_peak_bytes = 0;
+
+    [[nodiscard]] double total() const noexcept {
+        return local + cluster + aggregate + mine;
+    }
+};
+
 struct SweepPoint {
     std::size_t clients = 0;
     std::size_t rounds = 0;
@@ -61,7 +80,7 @@ struct SweepPoint {
     /// --shards after fl::ShardTree's min-shard-size clamp (small sweep
     /// points may run fewer shards than the header requests).
     std::size_t shards_effective = 1;
-    core::StageWall total;  ///< summed over rounds (peak for the bytes)
+    StageTotals total;
     double run_seconds = 0.0;
     double final_accuracy = 0.0;
 };

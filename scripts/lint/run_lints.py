@@ -1,0 +1,550 @@
+#!/usr/bin/env python3
+"""Project lint pass: machine-enforces the repo's hand-enforced conventions.
+
+Rules (each with a per-rule allowlist in allowlists.json):
+
+  raw-sync            no std::mutex / std::thread / std::lock_guard /
+                      std::condition_variable (or their headers) outside
+                      src/support/ -- concurrency goes through the
+                      annotated support::Mutex/MutexLock/CondVar wrappers
+                      or the ThreadPool, so clang -Wthread-safety can see
+                      every lock in the tree.
+  rng-determinism     no rand()/srand(), std::random_device, or
+                      argless-seeded std engines outside support/rng --
+                      all randomness derives from the experiment seed via
+                      support::Rng (fixed-seed runs stay bit-for-bit).
+  catch-swallow       no `catch (...)` in src/ that swallows without
+                      rethrowing (or capturing via std::current_exception
+                      for a later rethrow).
+  telemetry-hotpath   no allocation (new/malloc/containers growing), no
+                      lock, no ad-hoc std::chrono::*::now(), and no throw
+                      reachable from the telemetry emission paths
+                      (telemetry::Span begin/close, counter_add,
+                      counter_max) -- the lock-free ring guarantee,
+                      checked by intra-file call-graph reachability with
+                      allowlisted cold paths (buffer-full self-flush,
+                      first-use adopt, label interning).
+
+Usage:
+  run_lints.py --build-dir build            # lint the tree (TU set from
+                                            # compile_commands.json + src
+                                            # headers); exit 1 on findings
+  run_lints.py --files a.cpp b.cpp          # lint specific files
+  run_lints.py --self-test                  # fixture suite: every rule
+                                            # must flag its bad fixture
+                                            # and pass the clean ones
+  run_lints.py --rule raw-sync --files f    # restrict to one rule
+
+Engine: the dependency-free lexical matcher in cpplex.py (see its module
+docstring for why, and for the AST-engine upgrade path).  Diagnostics are
+gcc-style `file:line:col: error: [rule] message` so editors and CI
+annotate them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpplex  # noqa: E402
+from cpplex import IDENT, PP, PUNCT, Token  # noqa: E402
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: error: "
+                f"[{self.rule}] {self.message}")
+
+
+# --------------------------------------------------------------------------
+# Shared token helpers
+
+_KEYWORDS_NOT_CALLS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "new", "delete", "throw",
+    "noexcept", "assert",
+}
+
+
+def _calls(tokens: list[Token]):
+    """Yields (index, name) for every identifier directly followed by '('
+    -- call expressions, constructor-style casts, and declarations of the
+    form `Type name(arg)` (the last one is deliberate: for the lock types
+    it IS the acquisition site)."""
+    for k in range(len(tokens) - 1):
+        t, nxt = tokens[k], tokens[k + 1]
+        if (t.kind == IDENT and t.value not in _KEYWORDS_NOT_CALLS
+                and nxt.kind == PUNCT and nxt.value == "("):
+            yield k, t.value
+
+
+def _find_matching(tokens: list[Token], start: int, open_: str,
+                   close: str) -> int:
+    """Index of the token closing the bracket opened at `start` (which
+    must hold `open_`); len(tokens) if unbalanced."""
+    depth = 0
+    for k in range(start, len(tokens)):
+        v = tokens[k].value
+        if tokens[k].kind == PUNCT:
+            if v == open_:
+                depth += 1
+            elif v == close:
+                depth -= 1
+                if depth == 0:
+                    return k
+    return len(tokens)
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-sync
+
+_RAW_SYNC_TYPES = {
+    "std::mutex", "std::timed_mutex", "std::recursive_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::thread", "std::jthread",
+    "std::lock_guard", "std::unique_lock", "std::scoped_lock",
+    "std::shared_lock", "std::condition_variable",
+    "std::condition_variable_any", "std::call_once", "std::once_flag",
+    "std::async",
+}
+_RAW_SYNC_HEADERS = {"<mutex>", "<thread>", "<shared_mutex>",
+                     "<condition_variable>", "<future>"}
+
+
+def rule_raw_sync(path: str, tokens: list[Token]) -> list[Finding]:
+    out = []
+    for k, t in enumerate(tokens):
+        if t.kind == PP and t.value.startswith("#include"):
+            header = t.value.split("#include", 1)[1].strip()
+            if header in _RAW_SYNC_HEADERS:
+                out.append(
+                    Finding(
+                        "raw-sync", path, t.line, t.col,
+                        f"raw concurrency header {header}: use "
+                        "support/sync.hpp (annotated Mutex/MutexLock/"
+                        "CondVar) or support/parallel.hpp instead"))
+        elif t.kind == IDENT:
+            for name in _RAW_SYNC_TYPES:
+                if t.value == name.rsplit("::", 1)[1] and \
+                        cpplex.match_qualified(tokens, k, name):
+                    out.append(
+                        Finding(
+                            "raw-sync", path, t.line, t.col,
+                            f"{name} outside src/support/: the analysis "
+                            "cannot see std primitives -- use the "
+                            "annotated support::Mutex/MutexLock/CondVar "
+                            "(support/sync.hpp) or support::ThreadPool"))
+                    break
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: rng-determinism
+
+_RNG_ENGINES = {"std::mt19937", "std::mt19937_64", "std::minstd_rand",
+                "std::minstd_rand0", "std::default_random_engine",
+                "std::ranlux24", "std::ranlux48", "std::knuth_b"}
+
+
+def rule_rng_determinism(path: str, tokens: list[Token]) -> list[Finding]:
+    out = []
+    for k, t in enumerate(tokens):
+        if t.kind != IDENT:
+            continue
+        if t.value in ("rand", "srand") and k + 1 < len(tokens) \
+                and tokens[k + 1].value == "(" \
+                and (k == 0 or tokens[k - 1].value not in ("::", ".", "->")
+                     or cpplex.match_qualified(tokens, k, "std::" + t.value)):
+            out.append(
+                Finding(
+                    "rng-determinism", path, t.line, t.col,
+                    f"{t.value}() breaks seed determinism: draw from a "
+                    "support::Rng stream forked off the experiment seed"))
+        elif t.value == "random_device" and \
+                cpplex.match_qualified(tokens, k, "std::random_device"):
+            out.append(
+                Finding(
+                    "rng-determinism", path, t.line, t.col,
+                    "std::random_device is non-deterministic by design: "
+                    "seed a support::Rng from the experiment config "
+                    "instead"))
+        elif t.value in {n.rsplit("::", 1)[1] for n in _RNG_ENGINES} and \
+                any(cpplex.match_qualified(tokens, k, n)
+                    for n in _RNG_ENGINES):
+            # Flag only *argless* construction: `std::mt19937 g;`,
+            # `std::mt19937()`, `std::mt19937{}` -- the default seed is a
+            # process-invariant constant, which silently decouples the
+            # stream from the experiment seed.  Seeded forms pass (though
+            # support::Rng is still the idiomatic source).
+            nxt = tokens[k + 1] if k + 1 < len(tokens) else None
+            after = tokens[k + 2] if k + 2 < len(tokens) else None
+            third = tokens[k + 3] if k + 3 < len(tokens) else None
+            argless = False
+            if nxt is not None and nxt.kind == IDENT:
+                argless = after is not None and (
+                    after.value in (";", ",", ")") or
+                    (after.value == "(" and third is not None
+                     and third.value == ")") or
+                    (after.value == "{" and third is not None
+                     and third.value == "}"))
+            elif nxt is not None and nxt.value in ("(", "{"):
+                close = ")" if nxt.value == "(" else "}"
+                argless = after is not None and after.value == close
+            if argless:
+                out.append(
+                    Finding(
+                        "rng-determinism", path, t.line, t.col,
+                        "argless std engine construction uses the fixed "
+                        "default seed: derive the stream from the "
+                        "experiment seed via support::Rng"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: catch-swallow
+
+_RETHROW_MARKERS = {"throw", "current_exception", "rethrow_exception",
+                    "rethrow_if_nested"}
+
+
+def rule_catch_swallow(path: str, tokens: list[Token]) -> list[Finding]:
+    out = []
+    k = 0
+    while k < len(tokens):
+        t = tokens[k]
+        if t.kind == IDENT and t.value == "catch" and k + 1 < len(tokens) \
+                and tokens[k + 1].value == "(":
+            close = _find_matching(tokens, k + 1, "(", ")")
+            params = tokens[k + 2:close]
+            is_catch_all = any(p.kind == PUNCT and p.value == "..."
+                               for p in params)
+            body_open = close + 1
+            if is_catch_all and body_open < len(tokens) \
+                    and tokens[body_open].value == "{":
+                body_close = _find_matching(tokens, body_open, "{", "}")
+                body = tokens[body_open + 1:body_close]
+                if not any(b.kind == IDENT and b.value in _RETHROW_MARKERS
+                           for b in body):
+                    out.append(
+                        Finding(
+                            "catch-swallow", path, t.line, t.col,
+                            "catch (...) swallows the exception: rethrow "
+                            "(`throw;`), capture it via "
+                            "std::current_exception for a later rethrow, "
+                            "or narrow the handler to the types you can "
+                            "actually handle"))
+                k = body_open
+                continue
+        k += 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rule: telemetry-hotpath
+
+# The emission entry points of src/telemetry/telemetry.{hpp,cpp}: the Span
+# constructor/close pair and the counter emitters, plus the helpers the
+# hot path is composed of (kept explicit so a rename breaks the lint
+# rather than silently un-scoping the rule).
+_HOTPATH_ROOTS = {"Span", "close", "counter_add", "counter_max", "put",
+                  "make_record", "local_buffer", "next_span_id",
+                  "current_context"}
+
+_HOTPATH_FORBIDDEN_CALLS = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+    "push_back", "emplace", "emplace_back", "insert", "resize", "reserve",
+    "append", "assign",
+    "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "lock",
+    "Lock", "try_lock", "TryLock", "wait",
+    "now",
+}
+
+_FUNC_NAME_STOPWORDS = _KEYWORDS_NOT_CALLS | {"operator", "defined"}
+
+# Member names of std vocabulary types (atomics, containers, optionals)
+# that must not resolve to same-named project functions when building
+# call-graph edges -- `g_enabled.load(...)` is std::atomic::load, not
+# Dump::load.  Forbidden-call detection is unaffected (it matches call
+# sites directly, so `.lock()` still trips the rule).
+_EDGE_IGNORED_NAMES = {
+    "load", "store", "exchange", "compare_exchange_strong",
+    "compare_exchange_weak", "fetch_add", "fetch_sub", "find", "count",
+    "begin", "end", "size", "empty", "clear", "erase", "get", "reset",
+    "release", "data", "max", "min", "value_or", "has_value", "front",
+    "back",
+}
+
+
+def _extract_functions(tokens: list[Token]):
+    """Heuristic function-definition extractor: yields
+    (qualified_name, body_tokens) for every `name(...) ... {body}` shape,
+    including inline class methods.  Good enough for the telemetry TU and
+    validated by the fixture self-tests."""
+    k = 0
+    n = len(tokens)
+    while k < n:
+        t = tokens[k]
+        if t.kind == IDENT and t.value not in _FUNC_NAME_STOPWORDS \
+                and k + 1 < n and tokens[k + 1].value == "(":
+            name = cpplex.qualified_at(tokens, k)
+            close = _find_matching(tokens, k + 1, "(", ")")
+            # Scan the gap between `)` and a possible `{`: specifiers,
+            # ctor init lists (nested parens consumed whole), trailing
+            # return types.  A top-level `;` or `=` disqualifies
+            # (declaration, `= default`, assignment...).
+            j = close + 1
+            is_definition = True
+            while j < n:
+                v = tokens[j].value
+                if v == "{":
+                    break
+                if tokens[j].kind == PUNCT and v in (";", "="):
+                    is_definition = False
+                    break
+                if tokens[j].kind == PUNCT and v == "(":
+                    j = _find_matching(tokens, j, "(", ")") + 1
+                    continue
+                j += 1
+            if is_definition and j < n and tokens[j].value == "{":
+                body_close = _find_matching(tokens, j, "{", "}")
+                yield name, tokens[j + 1:body_close]
+                k = j + 1
+                continue
+        k += 1
+
+
+def rule_telemetry_hotpath(path: str, tokens: list[Token],
+                           stop_functions: dict) -> list[Finding]:
+    functions = {}
+    for name, body in _extract_functions(tokens):
+        functions.setdefault(name, []).append(body)
+        last = name.rsplit("::", 1)[-1]
+        if last != name:
+            functions.setdefault(last, []).append(body)
+
+    # Reachability from the emission roots, stopping at allowlisted cold
+    # paths; remember one call chain per function for the diagnostic.
+    chains = {root: root for root in _HOTPATH_ROOTS if root in functions}
+    work = list(chains)
+    while work:
+        fn = work.pop()
+        for body in functions.get(fn, []):
+            for _, callee in _calls(body):
+                if callee in stop_functions or callee in chains \
+                        or callee in _EDGE_IGNORED_NAMES:
+                    continue
+                if callee in functions:
+                    chains[callee] = f"{chains[fn]} -> {callee}"
+                    work.append(callee)
+
+    out = []
+    seen = set()
+    for fn, chain in chains.items():
+        if "::" in fn:
+            continue  # qualified alias of an unqualified entry
+        for body in functions.get(fn, []):
+            for k, callee in _calls(body):
+                if callee in _HOTPATH_FORBIDDEN_CALLS and \
+                        callee not in stop_functions:
+                    t = body[k]
+                    key = (t.line, t.col)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(
+                        Finding(
+                            "telemetry-hotpath", path, t.line, t.col,
+                            f"`{callee}` reachable from the telemetry "
+                            f"emission path ({chain}): the record hot "
+                            "path must not allocate, lock, block, or "
+                            "read ad-hoc clocks -- route cold work "
+                            "through an allowlisted flush path "
+                            "(scripts/lint/allowlists.json)"))
+            for k, t in enumerate(body):
+                if t.kind == IDENT and t.value in ("new", "throw"):
+                    key = (t.line, t.col)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(
+                        Finding(
+                            "telemetry-hotpath", path, t.line, t.col,
+                            f"`{t.value}` reachable from the telemetry "
+                            f"emission path ({chain}): the record hot "
+                            "path must not allocate or throw"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+RULES = ("raw-sync", "rng-determinism", "catch-swallow",
+         "telemetry-hotpath")
+
+
+def load_allowlists() -> dict:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "allowlists.json")
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def rel_to_repo(path: str) -> str:
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(
+        os.sep, "/")
+
+
+def lint_file(path: str, virtual_path: str, rules, allow) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        tokens = cpplex.lex(f.read())
+    findings: list[Finding] = []
+
+    def exempt(rule: str) -> bool:
+        prefixes = allow.get(rule, {}).get("exempt_paths", {})
+        return any(virtual_path.startswith(p) for p in prefixes)
+
+    in_src = virtual_path.startswith("src/")
+    if "raw-sync" in rules and in_src and not exempt("raw-sync"):
+        findings += rule_raw_sync(path, tokens)
+    if "rng-determinism" in rules and in_src and \
+            not exempt("rng-determinism"):
+        findings += rule_rng_determinism(path, tokens)
+    if "catch-swallow" in rules and in_src and not exempt("catch-swallow"):
+        findings += rule_catch_swallow(path, tokens)
+    if "telemetry-hotpath" in rules and \
+            virtual_path.startswith("src/telemetry/"):
+        stops = allow.get("telemetry-hotpath", {}).get("stop_functions", {})
+        findings += rule_telemetry_hotpath(path, tokens, stops)
+    return findings
+
+
+def tree_files(build_dir: str) -> list[str]:
+    """The TU set from compile_commands.json plus every header under
+    src/ (headers never appear as compile-command entries)."""
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(cc_path):
+        sys.exit(f"run_lints.py: {cc_path} not found -- configure with "
+                 "cmake (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default "
+                 "in this project) or pass --build-dir")
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if rel_to_repo(path).startswith("src/"):
+            files.add(path)
+    for root, _, names in os.walk(os.path.join(REPO_ROOT, "src")):
+        for name in names:
+            if name.endswith((".hpp", ".h", ".hh", ".hxx")):
+                files.add(os.path.join(root, name))
+    return sorted(files)
+
+
+def fixture_virtual_path(path: str) -> str:
+    """Fixtures live outside src/; lint them as if they sat at the paths
+    their names encode (telemetry fixtures inside src/telemetry/)."""
+    base = os.path.basename(path)
+    if "telemetry" in base:
+        return "src/telemetry/" + base
+    return "src/" + base
+
+
+def self_test(fixtures_dir: str, allow) -> int:
+    failures = 0
+    fixtures = sorted(os.listdir(fixtures_dir))
+    for name in fixtures:
+        if not name.endswith((".cpp", ".hpp")):
+            continue
+        path = os.path.join(fixtures_dir, name)
+        findings = lint_file(path, fixture_virtual_path(path), RULES, allow)
+        if name.startswith("bad_"):
+            # bad_<rule-with-underscores>[_variant].cpp must be flagged
+            # by exactly the rule its name encodes.
+            stem = name[len("bad_"):].rsplit(".", 1)[0]
+            expected = next(
+                (r for r in RULES if stem.replace("_", "-").startswith(r)),
+                None)
+            hit = [f for f in findings if f.rule == expected]
+            if expected is None:
+                print(f"self-test: {name}: no rule matches fixture name")
+                failures += 1
+            elif not hit:
+                print(f"self-test: {name}: expected a [{expected}] "
+                      f"finding, got {[f.rule for f in findings]}")
+                failures += 1
+            else:
+                print(f"self-test: {name}: flagged by [{expected}] "
+                      f"({len(hit)} finding(s)) -- ok")
+        elif name.startswith("clean"):
+            if findings:
+                print(f"self-test: {name}: expected clean, got:")
+                for f in findings:
+                    print(f"  {f}")
+                failures += 1
+            else:
+                print(f"self-test: {name}: clean -- ok")
+    if failures:
+        print(f"self-test: {failures} fixture expectation(s) failed")
+        return 1
+    print(f"self-test: all fixture expectations hold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT,
+                                                            "build"))
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="lint these files instead of the tree")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="restrict to the given rule(s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture suite under "
+                             "tests/lint_fixtures")
+    parser.add_argument("--fixtures-dir",
+                        default=os.path.join(REPO_ROOT, "tests",
+                                             "lint_fixtures"))
+    args = parser.parse_args()
+
+    allow = load_allowlists()
+    if args.self_test:
+        return self_test(args.fixtures_dir, allow)
+
+    rules = tuple(args.rule) if args.rule else RULES
+    if args.files is not None:
+        pairs = [(f, fixture_virtual_path(f) if "lint_fixtures" in f
+                  else rel_to_repo(f)) for f in args.files]
+    else:
+        pairs = [(f, rel_to_repo(f)) for f in tree_files(args.build_dir)]
+
+    findings: list[Finding] = []
+    for path, virtual in pairs:
+        findings += lint_file(path, virtual, rules, allow)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"run_lints.py: {len(findings)} finding(s) across "
+              f"{len(pairs)} file(s)", file=sys.stderr)
+        return 1
+    print(f"run_lints.py: {len(pairs)} file(s) clean under "
+          f"{len(rules)} rule(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

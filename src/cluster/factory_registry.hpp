@@ -5,13 +5,13 @@
 // listing, and unknown-key errors that enumerate the known names.
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "support/cli.hpp"
+#include "support/sync.hpp"
 
 namespace fairbfl::cluster {
 
@@ -27,8 +27,9 @@ public:
 
     /// Registers a factory.  Throws std::invalid_argument when `name` is
     /// already taken, unless `replace` is set.
-    void add(std::string name, Factory factory, bool replace = false) {
-        std::lock_guard lock(mutex_);
+    void add(std::string name, Factory factory, bool replace = false)
+        EXCLUDES(mutex_) {
+        support::MutexLock lock(mutex_);
         if (!replace && factories_.contains(name)) {
             throw std::invalid_argument(std::string(kind_) + " '" + name +
                                         "' is already registered");
@@ -36,14 +37,15 @@ public:
         factories_[std::move(name)] = std::move(factory);
     }
 
-    [[nodiscard]] bool contains(std::string_view name) const {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] bool contains(std::string_view name) const
+        EXCLUDES(mutex_) {
+        support::MutexLock lock(mutex_);
         return factories_.find(name) != factories_.end();
     }
 
     /// Registered names, sorted.
-    [[nodiscard]] std::vector<std::string> names() const {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] std::vector<std::string> names() const EXCLUDES(mutex_) {
+        support::MutexLock lock(mutex_);
         std::vector<std::string> out;
         out.reserve(factories_.size());
         for (const auto& [name, _] : factories_) out.push_back(name);
@@ -53,8 +55,9 @@ public:
 protected:
     /// The factory registered under `name`.  Throws std::out_of_range
     /// listing the known names when it is not registered.
-    [[nodiscard]] Factory find(std::string_view name) const {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] Factory find(std::string_view name) const
+        EXCLUDES(mutex_) {
+        support::MutexLock lock(mutex_);
         const auto it = factories_.find(name);
         if (it == factories_.end()) {
             std::vector<std::string> known;
@@ -69,8 +72,9 @@ protected:
 
 private:
     const char* kind_;
-    mutable std::mutex mutex_;
-    std::map<std::string, Factory, std::less<>> factories_;
+    mutable support::Mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_
+        GUARDED_BY(mutex_);
 };
 
 }  // namespace fairbfl::cluster

@@ -73,8 +73,13 @@ struct SeriesPoint {
     /// Measured host wall time per stage (bench_perf_round) -- the
     /// deprecated StageWall shim, derived per round from the telemetry
     /// event log by core::stage_wall_from.  Zero for systems that do not
-    /// report it and when FAIRBFL_TELEMETRY is off.
+    /// report it and when FAIRBFL_TELEMETRY is off.  The member rides out
+    /// the shim's final release, so it suppresses the deprecation it
+    /// would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     StageWall wall;
+#pragma GCC diagnostic pop
 };
 
 struct SystemRun {

@@ -86,8 +86,12 @@ struct BflRoundRecord {
     /// Measured host wall time, derived from the round's telemetry
     /// harvest via core::stage_wall_from (zeros when FAIRBFL_TELEMETRY is
     /// off).  Deprecated shim -- new consumers should harvest the
-    /// telemetry session directly.
+    /// telemetry session directly.  The member rides out the shim's final
+    /// release, so it suppresses the deprecation it would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     StageWall wall;
+#pragma GCC diagnostic pop
     std::vector<fl::NodeId> attacker_clients;
     std::vector<fl::NodeId> low_contribution_clients;  ///< Table 2 "Drop Index"
     double detection_rate = 1.0;             ///< Table 2 row metric

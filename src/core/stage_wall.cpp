@@ -2,6 +2,11 @@
 
 namespace fairbfl::core {
 
+// The definition of the shim factory necessarily names the deprecated
+// type; keep it warning-clean under -Werror=deprecated-declarations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 StageWall stage_wall_from(const telemetry::RoundStats& stats) {
     StageWall wall;
     wall.local = stats.seconds_of("round.local");
@@ -15,5 +20,7 @@ StageWall stage_wall_from(const telemetry::RoundStats& stats) {
         static_cast<std::size_t>(stats.max_of("cluster.index_bytes"));
     return wall;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace fairbfl::core

@@ -25,7 +25,9 @@ namespace fairbfl::core {
 /// Deprecated: a fixed struct of per-stage clocks cannot describe
 /// overlapping stages.  Populated from the telemetry log by
 /// stage_wall_from(); do not write the fields directly.
-struct StageWall {
+struct [[deprecated(
+    "consume telemetry::RoundStats (or a decoded dump) directly; "
+    "StageWall is a one-release compatibility shim")]] StageWall {
     double local = 0.0;      ///< Procedure I: local learning
     double cluster = 0.0;    ///< Algorithm 2: index + clustering + theta
     double aggregate = 0.0;  ///< provisional combine + reward settlement
@@ -64,6 +66,11 @@ struct StageWall {
 ///   cluster_shards  <- span "cluster.shard_pass"
 ///   cluster_root    <- span "cluster.root_pass"
 ///   index_peak_bytes<- max counter "cluster.index_bytes"
+// The factory is part of the shim: it must keep naming the deprecated
+// type without tripping -Werror=deprecated-declarations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 [[nodiscard]] StageWall stage_wall_from(const telemetry::RoundStats& stats);
+#pragma GCC diagnostic pop
 
 }  // namespace fairbfl::core

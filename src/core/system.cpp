@@ -294,7 +294,7 @@ SystemSpec blockchain_spec(const BlockchainBaselineConfig& config,
 }
 
 void SystemRegistry::add(std::string name, Factory factory, bool replace) {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (!replace && factories_.contains(name)) {
         throw std::invalid_argument("system '" + name +
                                     "' is already registered");
@@ -303,12 +303,12 @@ void SystemRegistry::add(std::string name, Factory factory, bool replace) {
 }
 
 bool SystemRegistry::contains(std::string_view name) const {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     return factories_.find(name) != factories_.end();
 }
 
 std::vector<std::string> SystemRegistry::names() const {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [name, _] : factories_) out.push_back(name);
@@ -319,7 +319,7 @@ std::unique_ptr<System> SystemRegistry::make(const Environment& env,
                                              const SystemSpec& spec) const {
     Factory factory;
     {
-        std::lock_guard lock(mutex_);
+        support::MutexLock lock(mutex_);
         const auto it = factories_.find(spec.system);
         if (it == factories_.end()) {
             std::vector<std::string_view> known;

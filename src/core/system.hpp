@@ -22,7 +22,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -34,6 +33,7 @@
 #include "core/vanilla_bfl.hpp"
 #include "fl/fedprox.hpp"
 #include "support/parallel.hpp"
+#include "support/sync.hpp"
 
 namespace fairbfl::core {
 
@@ -148,27 +148,31 @@ public:
     /// \param factory builds the system from an environment and a spec.
     /// \param replace overwrite an existing registration instead of
     ///                throwing.
-    void add(std::string name, Factory factory, bool replace = false);
+    void add(std::string name, Factory factory, bool replace = false)
+        EXCLUDES(mutex_);
 
     /// True when a factory is registered under `name`.
     /// \param name registry key to look up.
-    [[nodiscard]] bool contains(std::string_view name) const;
+    [[nodiscard]] bool contains(std::string_view name) const
+        EXCLUDES(mutex_);
     /// Registered names, sorted.
-    [[nodiscard]] std::vector<std::string> names() const;
+    [[nodiscard]] std::vector<std::string> names() const EXCLUDES(mutex_);
 
     /// Builds the system `spec.system` names.  Throws std::out_of_range
     /// listing the known names when it is not registered.
     /// \param env  the shared world (dataset, partition, model).
     /// \param spec which system to build, with its configuration.
     [[nodiscard]] std::unique_ptr<System> make(const Environment& env,
-                                               const SystemSpec& spec) const;
+                                               const SystemSpec& spec) const
+        EXCLUDES(mutex_);
 
     /// The process-wide registry, built-ins pre-registered.
     static SystemRegistry& global();
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, Factory, std::less<>> factories_;
+    mutable support::Mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_
+        GUARDED_BY(mutex_);
 };
 
 /// Builds the spec's system, runs its rounds, and returns the finalized

@@ -5,9 +5,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/sync.hpp"
+
 namespace fairbfl::support {
 
 namespace {
+
+/// Serializes the tag/message/newline triple of one log line.  Without it
+/// concurrent vlog calls (e.g. two pool workers warning at once) could
+/// interleave their fprintf fragments mid-line; stderr is the guarded
+/// resource, so the capability lives here rather than on a field.
+Mutex g_stderr_mutex;
 
 LogLevel initial_level() noexcept {
     const char* env = std::getenv("FAIRBFL_LOG");
@@ -45,6 +53,7 @@ namespace detail {
 
 void vlog(LogLevel level, const char* fmt, ...) {
     if (level < log_level()) return;
+    MutexLock lock(g_stderr_mutex);
     std::fprintf(stderr, "[fairbfl %s] ", level_tag(level));
     va_list args;
     va_start(args, fmt);

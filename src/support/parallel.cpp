@@ -1,13 +1,26 @@
 #include "support/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "support/sync.hpp"
+
 namespace fairbfl::support {
+
+// Lock hierarchy (checked by the annotations below, documented in
+// docs/ARCHITECTURE.md):
+//
+//   queue mutexes, error_mutex, sleep_mutex are all *leaf* locks -- no
+//   thread ever holds two pool locks at once.  push_tasks releases the
+//   queue lock before touching sleep_mutex (the scoped block), execute
+//   releases error_mutex before the last-task wakeup takes sleep_mutex,
+//   and pop_own/steal hold exactly one queue lock at a time.  The
+//   EXCLUDES(sleep_mutex) contracts make reentering the sleep protocol
+//   with the lock already held (the one nesting that could deadlock on a
+//   condvar wait) a compile error under clang.
 
 struct ThreadPool::Impl {
     /// One fork/join cycle: the caller's body plus the join bookkeeping.
@@ -17,8 +30,8 @@ struct ThreadPool::Impl {
     struct Job {
         const std::function<void(unsigned)>* body = nullptr;
         std::atomic<unsigned> remaining{0};
-        std::mutex error_mutex;
-        std::exception_ptr error;
+        Mutex error_mutex;
+        std::exception_ptr error GUARDED_BY(error_mutex);
     };
 
     struct Task {
@@ -31,8 +44,8 @@ struct ThreadPool::Impl {
     /// the front.  Slot 0 is the shared inbox for threads that are not
     /// workers of this pool (external run() callers, cross-pool tasks).
     struct WorkQueue {
-        std::mutex mutex;
-        std::deque<Task> tasks;
+        Mutex mutex;
+        std::deque<Task> tasks GUARDED_BY(mutex);
     };
 
     std::vector<WorkQueue> queues;
@@ -41,29 +54,29 @@ struct ThreadPool::Impl {
     /// Sleep/wake coordination.  `pending` counts tasks sitting in queues
     /// (not yet claimed); notifications happen under `sleep_mutex` so a
     /// waiter's predicate check cannot race a push into a lost wakeup.
-    std::mutex sleep_mutex;
-    std::condition_variable cv;
+    Mutex sleep_mutex;
+    CondVar cv;
     std::atomic<std::size_t> pending{0};
-    bool shutting_down = false;
+    bool shutting_down GUARDED_BY(sleep_mutex) = false;
 
     explicit Impl(unsigned n) : queues(n) {}
 
     void push_tasks(std::size_t queue_index, Job& job, unsigned first_index,
-                    unsigned count) {
+                    unsigned count) EXCLUDES(sleep_mutex) {
         {
-            std::lock_guard lock(queues[queue_index].mutex);
+            WorkQueue& q = queues[queue_index];
+            MutexLock lock(q.mutex);
             for (unsigned k = 0; k < count; ++k)
-                queues[queue_index].tasks.push_back(
-                    Task{&job, first_index + k});
+                q.tasks.push_back(Task{&job, first_index + k});
         }
         pending.fetch_add(count);
-        std::lock_guard lock(sleep_mutex);
+        MutexLock lock(sleep_mutex);
         cv.notify_all();
     }
 
     bool pop_own(std::size_t self, Task& out) {
         WorkQueue& q = queues[self];
-        std::lock_guard lock(q.mutex);
+        MutexLock lock(q.mutex);
         if (q.tasks.empty()) return false;
         out = q.tasks.back();
         q.tasks.pop_back();
@@ -75,7 +88,7 @@ struct ThreadPool::Impl {
         const std::size_t n = queues.size();
         for (std::size_t offset = 1; offset <= n; ++offset) {
             WorkQueue& q = queues[(self + offset) % n];
-            std::lock_guard lock(q.mutex);
+            MutexLock lock(q.mutex);
             if (q.tasks.empty()) continue;
             out = q.tasks.front();
             q.tasks.pop_front();
@@ -85,17 +98,17 @@ struct ThreadPool::Impl {
         return false;
     }
 
-    void execute(const Task& task) {
+    void execute(const Task& task) EXCLUDES(sleep_mutex) {
         try {
             (*task.job->body)(task.index);
         } catch (...) {
-            std::lock_guard lock(task.job->error_mutex);
+            MutexLock lock(task.job->error_mutex);
             if (!task.job->error) task.job->error = std::current_exception();
         }
         if (task.job->remaining.fetch_sub(1) == 1) {
             // Last task: wake any joiner.  Touch only pool state from here
             // on -- the joiner may already be destroying the job.
-            std::lock_guard lock(sleep_mutex);
+            MutexLock lock(sleep_mutex);
             cv.notify_all();
         }
     }
@@ -108,21 +121,20 @@ struct ThreadPool::Impl {
     /// Runs tasks until `job` completes, sleeping only when there is
     /// nothing anywhere to help with -- the no-deadlock invariant: a
     /// joining thread never blocks while runnable work exists.
-    void join(Job& job) {
+    void join(Job& job) EXCLUDES(sleep_mutex) {
         while (job.remaining.load() > 0) {
             Task task;
             if (claim(task)) {
                 execute(task);
                 continue;
             }
-            std::unique_lock lock(sleep_mutex);
-            cv.wait(lock, [&] {
-                return job.remaining.load() == 0 || pending.load() > 0;
-            });
+            MutexLock lock(sleep_mutex);
+            while (job.remaining.load() != 0 && pending.load() == 0)
+                cv.wait(sleep_mutex);
         }
     }
 
-    void worker_loop(unsigned index);
+    void worker_loop(unsigned index) EXCLUDES(sleep_mutex);
 
     /// Which pool (if any) the current thread belongs to, and its queue
     /// slot.  Lets nested forks target the owning worker's deque and
@@ -151,11 +163,9 @@ void ThreadPool::Impl::worker_loop(unsigned index) {
             execute(task);
             continue;
         }
-        std::unique_lock lock(sleep_mutex);
+        MutexLock lock(sleep_mutex);
         if (shutting_down) return;
-        if (pending.load() > 0) continue;
-        cv.wait(lock,
-                [&] { return shutting_down || pending.load() > 0; });
+        while (!shutting_down && pending.load() == 0) cv.wait(sleep_mutex);
         if (shutting_down) return;
     }
 }
@@ -176,7 +186,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(impl_->sleep_mutex);
+        MutexLock lock(impl_->sleep_mutex);
         impl_->shutting_down = true;
     }
     impl_->cv.notify_all();
@@ -210,8 +220,11 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
 
     impl_->join(job);
     if (!caller_error) {
-        // No lock needed: join() observed remaining == 0, which the last
-        // task published after any error store.
+        // join() observed remaining == 0, so the store already
+        // happened-before this read; the (uncontended, once-per-fork) lock
+        // is taken so the GUARDED_BY contract holds by construction rather
+        // than by the release-ordering argument.
+        MutexLock lock(job.error_mutex);
         caller_error = job.error;
     }
     if (caller_error) std::rethrow_exception(caller_error);

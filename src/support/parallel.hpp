@@ -9,7 +9,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <thread>
 
 namespace fairbfl::support {
 

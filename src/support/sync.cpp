@@ -1,0 +1,15 @@
+#include "support/sync.hpp"
+
+namespace fairbfl::support {
+
+// Out-of-line so the wait/notify protocol has exactly one instantiation
+// the analysis (and a debugger) can anchor on; the attribute contracts
+// live on the declarations in sync.hpp.
+
+void CondVar::wait(Mutex& mu) { cv_.wait(mu.mu_); }
+
+void CondVar::notify_one() noexcept { cv_.notify_one(); }
+
+void CondVar::notify_all() noexcept { cv_.notify_all(); }
+
+}  // namespace fairbfl::support

@@ -1,0 +1,86 @@
+#pragma once
+// Annotated synchronization primitives: thin wrappers over the std types
+// that carry the thread-safety-analysis capability attributes
+// (support/thread_annotations.hpp).  All lock-holding code outside
+// src/support/ must use these -- the raw std primitives are invisible to
+// the analysis, and the `raw-sync` project lint (scripts/lint) rejects
+// them elsewhere in the tree.
+//
+// Conventions:
+//   * every field a Mutex protects is declared `GUARDED_BY(mutex_)`;
+//   * a private helper that assumes the lock is held says `REQUIRES(mu)`;
+//   * a method that takes the lock itself says `EXCLUDES(mu)` when
+//     reentering with it held would deadlock;
+//   * scoped locking goes through MutexLock (never manual Lock/Unlock
+//     pairs outside destructor-less leaf code).
+// docs/ARCHITECTURE.md ("Concurrency invariants") carries the capability
+// table and the how-to for annotating a new component.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace fairbfl::support {
+
+/// An annotated exclusive lock.  Same cost as the wrapped std::mutex; the
+/// CAPABILITY attribute is what lets clang check acquire/release pairing
+/// and GUARDED_BY access rules at compile time.
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void Lock() ACQUIRE() { mu_.lock(); }
+    void Unlock() RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex (the std::lock_guard of the annotated
+/// world).  SCOPED_CAPABILITY tells the analysis the constructor acquires
+/// and the destructor releases.
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+    ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex.  wait() REQUIRES the
+/// mutex: the caller must hold it (via MutexLock), and holds it again when
+/// wait returns -- the internal release/reacquire is invisible to the
+/// analysis, exactly like a pthread condvar.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// Blocks until notified (spurious wakeups possible, as with the std
+    /// type -- pair with a predicate re-check).
+    void wait(Mutex& mu) REQUIRES(mu);
+
+    /// Blocks until `pred()` holds; pred runs with `mu` held.
+    template <typename Predicate>
+    void wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+        cv_.wait(mu.mu_, std::move(pred));
+    }
+
+    void notify_one() noexcept;
+    void notify_all() noexcept;
+
+private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace fairbfl::support

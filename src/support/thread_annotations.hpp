@@ -1,0 +1,92 @@
+#pragma once
+// Clang thread-safety-analysis capability macros (abseil style).
+//
+// These annotations turn the repo's locking conventions into compile-time
+// checked invariants: `GUARDED_BY(mu)` on a field makes every unlocked
+// access a -Wthread-safety error under clang, `REQUIRES(mu)` puts a lock
+// precondition into a function's signature, and `EXCLUDES(mu)` documents
+// (and checks) that a function takes `mu` itself and must not be entered
+// with it held.  Under any compiler without the attributes -- gcc, msvc,
+// pre-attribute clang -- every macro expands to nothing, so the annotated
+// tree builds everywhere and is *verified* wherever clang is available
+// (the CI static-analysis job builds with -Wthread-safety
+// -Werror=thread-safety).
+//
+// Use the annotated wrappers in support/sync.hpp (support::Mutex,
+// support::MutexLock, support::CondVar) rather than the std primitives:
+// the std types carry no capability attributes, so the analysis cannot see
+// them (and the raw-sync project lint rejects them outside src/support/).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lock).  The string names the
+/// capability kind in diagnostics ("mutex").
+#define CAPABILITY(x) FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock).
+#define SCOPED_CAPABILITY FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a field or variable is protected by the given capability:
+/// reads require the capability held shared or exclusive, writes require
+/// it exclusive.
+#define GUARDED_BY(x) FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Like GUARDED_BY, for the data *pointed to* by a pointer field.
+#define PT_GUARDED_BY(x) FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering edges: this capability must be acquired before/after the
+/// listed ones.  Violations are -Wthread-safety-analysis errors.
+#define ACQUIRED_BEFORE(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must be held (and are
+/// still held on return).
+#define REQUIRES(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE( \
+        requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE( \
+        acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define RELEASE(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE( \
+        release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when it returns the given
+/// boolean value.
+#define TRY_ACQUIRE(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be entered with the listed capabilities held; it
+/// acquires them itself (deadlock-by-reentry guard).
+#define EXCLUDES(...) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define ASSERT_CAPABILITY(x) \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: the definition is exempt from analysis.  Every use needs
+/// a comment justifying why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+    FAIRBFL_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

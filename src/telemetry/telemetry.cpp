@@ -6,13 +6,18 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "support/sync.hpp"
 
 namespace fairbfl::telemetry {
 
 namespace {
+
+using support::CondVar;
+using support::Mutex;
+using support::MutexLock;
 
 using Clock = std::chrono::steady_clock;
 
@@ -22,12 +27,13 @@ using Clock = std::chrono::steady_clock;
 // any thread without the lock once the entry exists.
 
 struct LabelRegistry {
-    std::mutex mutex;
-    std::unordered_map<std::string, Label> ids;
-    std::vector<const std::string*> names;  // index = id - 1, leaked strings
+    Mutex mutex;
+    std::unordered_map<std::string, Label> ids GUARDED_BY(mutex);
+    /// index = id - 1, leaked strings
+    std::vector<const std::string*> names GUARDED_BY(mutex);
 
-    Label intern(std::string_view name) {
-        std::lock_guard lock(mutex);
+    Label intern(std::string_view name) EXCLUDES(mutex) {
+        MutexLock lock(mutex);
         const auto it = ids.find(std::string(name));
         if (it != ids.end()) return it->second;
         if (names.size() >= 0xFFFEU)
@@ -39,8 +45,8 @@ struct LabelRegistry {
         return id;
     }
 
-    std::string_view name(Label id) {
-        std::lock_guard lock(mutex);
+    std::string_view name(Label id) EXCLUDES(mutex) {
+        MutexLock lock(mutex);
         if (id == 0 || id > names.size()) return "?";
         return *names[id - 1];
     }
@@ -52,6 +58,14 @@ LabelRegistry& label_registry() {
 }
 
 // --- Per-thread ring buffer ------------------------------------------------
+
+/// The one lock of the collector protocol, at namespace scope so both the
+/// Collector's fields and ThreadBuffer::drain_locked's REQUIRES contract
+/// can name the same capability.  Never taken on the record hot path --
+/// put() touches it only through the buffer-full self-flush.
+Mutex g_collector_mutex;
+
+class Collector;
 
 /// SPSC ring: the owning thread produces (put), consumers drain under the
 /// collector mutex.  Capacity is a power of two; head/tail are monotonic
@@ -76,16 +90,12 @@ public:
     /// the protocol).
     void put(const Record& record) noexcept;
 
-    /// Consumer side; must hold the collector mutex.  Returns the drained
-    /// range via the callback to avoid intermediate copies.
-    template <typename Route>
-    void drain_locked(Route&& route) {
-        const std::uint64_t head = head_.load(std::memory_order_acquire);
-        std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-        for (; tail != head; ++tail)
-            route(ring_[tail & (kCapacity - 1)]);
-        tail_.store(head, std::memory_order_release);
-    }
+    /// Consumer side: routes the drained range straight into the
+    /// collector (no intermediate copies).  The REQUIRES contract is the
+    /// ring's consumer invariant -- `tail_` is advanced only under the
+    /// collector mutex, so concurrent drains (harvest vs. a buffer-full
+    /// self-flush vs. TLS-exit retire) serialize.
+    void drain_locked(Collector& collector) REQUIRES(g_collector_mutex);
 
 private:
     Record ring_[kCapacity];
@@ -113,16 +123,16 @@ public:
                 .count());
     }
 
-    ThreadBuffer* adopt() {
-        std::lock_guard lock(mutex_);
+    ThreadBuffer* adopt() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         buffers_.push_back(
             std::make_unique<ThreadBuffer>(next_slot_++));
         return buffers_.back().get();
     }
 
-    void retire(ThreadBuffer* buffer) {
-        std::lock_guard lock(mutex_);
-        buffer->drain_locked([this](const Record& r) { route(r); });
+    void retire(ThreadBuffer* buffer) EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
+        buffer->drain_locked(*this);
         for (std::size_t i = 0; i < buffers_.size(); ++i) {
             if (buffers_[i].get() == buffer) {
                 buffers_.erase(buffers_.begin() +
@@ -132,34 +142,33 @@ public:
         }
     }
 
-    void drain_one(ThreadBuffer* buffer) {
-        std::lock_guard lock(mutex_);
-        buffer->drain_locked([this](const Record& r) { route(r); });
+    void drain_one(ThreadBuffer* buffer) EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
+        buffer->drain_locked(*this);
     }
 
-    void drain_all() {
-        std::lock_guard lock(mutex_);
-        for (auto& buffer : buffers_)
-            buffer->drain_locked([this](const Record& r) { route(r); });
+    void drain_all() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
+        drain_all_locked();
     }
 
-    std::uint32_t open_session() {
-        std::lock_guard lock(mutex_);
+    std::uint32_t open_session() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         const std::uint32_t id = next_session_++;
         sessions_.emplace(id, std::vector<Record>{});
         return id;
     }
 
-    void close_session(std::uint32_t id) {
-        std::lock_guard lock(mutex_);
+    void close_session(std::uint32_t id) EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         sessions_.erase(id);
     }
 
     /// drain_all + move the session's pending records out.
-    std::vector<Record> harvest_session(std::uint32_t id) {
-        std::lock_guard lock(mutex_);
-        for (auto& buffer : buffers_)
-            buffer->drain_locked([this](const Record& r) { route(r); });
+    std::vector<Record> harvest_session(std::uint32_t id)
+        EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
+        drain_all_locked();
         const auto it = sessions_.find(id);
         if (it == sessions_.end()) return {};
         std::vector<Record> taken = std::move(it->second);
@@ -167,38 +176,37 @@ public:
         return taken;
     }
 
-    void capture_begin() {
-        std::lock_guard lock(mutex_);
+    void capture_begin() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         // Flush stale records first: the capture holds only records
         // emitted after this call.
-        for (auto& buffer : buffers_)
-            buffer->drain_locked([this](const Record& r) { route(r); });
+        drain_all_locked();
         capturing_ = true;
         capture_.clear();
     }
 
-    std::vector<Record> capture_end() {
-        std::lock_guard lock(mutex_);
-        for (auto& buffer : buffers_)
-            buffer->drain_locked([this](const Record& r) { route(r); });
+    std::vector<Record> capture_end() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
+        drain_all_locked();
         capturing_ = false;
         return std::move(capture_);
     }
 
-    [[nodiscard]] bool capture_active() noexcept {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] bool capture_active() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         return capturing_;
     }
 
-    [[nodiscard]] std::uint64_t dropped() noexcept {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] std::uint64_t dropped() EXCLUDES(g_collector_mutex) {
+        MutexLock lock(g_collector_mutex);
         return dropped_;
     }
 
-private:
     /// Routing, under the mutex: capture first (preserves global order),
     /// then the owning session's pending list; otherwise count and drop.
-    void route(const Record& record) {
+    /// Public only for ThreadBuffer::drain_locked (same TU); the REQUIRES
+    /// contract keeps outside callers honest.
+    void route(const Record& record) REQUIRES(g_collector_mutex) {
         if (capturing_) capture_.push_back(record);
         if (record.session != 0) {
             const auto it = sessions_.find(record.session);
@@ -210,16 +218,30 @@ private:
         if (!capturing_) ++dropped_;
     }
 
-    std::mutex mutex_;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-    std::unordered_map<std::uint32_t, std::vector<Record>> sessions_;
-    std::vector<Record> capture_;
-    bool capturing_ = false;
-    std::uint64_t dropped_ = 0;
-    std::uint32_t next_session_ = 1;
-    std::uint16_t next_slot_ = 1;
-    Clock::time_point epoch_;
+private:
+    void drain_all_locked() REQUIRES(g_collector_mutex) {
+        for (auto& buffer : buffers_) buffer->drain_locked(*this);
+    }
+
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        GUARDED_BY(g_collector_mutex);
+    std::unordered_map<std::uint32_t, std::vector<Record>> sessions_
+        GUARDED_BY(g_collector_mutex);
+    std::vector<Record> capture_ GUARDED_BY(g_collector_mutex);
+    bool capturing_ GUARDED_BY(g_collector_mutex) = false;
+    std::uint64_t dropped_ GUARDED_BY(g_collector_mutex) = 0;
+    std::uint32_t next_session_ GUARDED_BY(g_collector_mutex) = 1;
+    std::uint16_t next_slot_ GUARDED_BY(g_collector_mutex) = 1;
+    Clock::time_point epoch_;  ///< immutable after construction
 };
+
+void ThreadBuffer::drain_locked(Collector& collector) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail)
+        collector.route(ring_[tail & (kCapacity - 1)]);
+    tail_.store(head, std::memory_order_release);
+}
 
 void ThreadBuffer::put(const Record& record) noexcept {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
@@ -269,8 +291,17 @@ bool read_env_enabled() noexcept {
 bool enabled() noexcept {
     int state = g_enabled.load(std::memory_order_relaxed);
     if (state < 0) {
-        state = read_env_enabled() ? 1 : 0;
-        g_enabled.store(state, std::memory_order_relaxed);
+        // Resolve the -1 sentinel with a CAS instead of a blind store:
+        // under the old double-checked read, a thread still inside this
+        // slow path could overwrite a concurrent set_enabled() with the
+        // stale environment value.  Losing the race now means someone
+        // else (env read or set_enabled) already published a decision,
+        // and that decision wins.
+        const int desired = read_env_enabled() ? 1 : 0;
+        if (!g_enabled.compare_exchange_strong(state, desired,
+                                               std::memory_order_relaxed))
+            return state != 0;
+        state = desired;
     }
     return state != 0;
 }
@@ -463,10 +494,14 @@ namespace {
 constexpr std::uint32_t kDumpMagic = 0x4C544246U;  // "FBTL" little-endian
 constexpr std::uint16_t kDumpVersion = 1;
 
+// resize+memcpy rather than insert(end, first, last): same bytes, and it
+// sidesteps a gcc-12 -Wstringop-overflow false positive on the iterator
+// form that would trip FAIRBFL_WERROR builds.
 template <typename T>
 void append_pod(std::vector<std::byte>& out, const T& value) {
-    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
-    out.insert(out.end(), bytes, bytes + sizeof(T));
+    const std::size_t offset = out.size();
+    out.resize(offset + sizeof(T));
+    std::memcpy(out.data() + offset, &value, sizeof(T));
 }
 
 template <typename T>
@@ -566,7 +601,7 @@ Dump capture_end() {
     dump.records = Collector::instance().capture_end();
     // Snapshot the live label table so the dump decodes standalone.
     LabelRegistry& registry = label_registry();
-    std::lock_guard lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     dump.labels.reserve(registry.names.size());
     for (std::size_t i = 0; i < registry.names.size(); ++i) {
         dump.labels.push_back(

@@ -1,0 +1,29 @@
+// Lint fixture: must pass every rule.  Exercises the near-miss shapes:
+// a rethrowing catch-all, a capture-for-later catch-all, seed-derived
+// randomness, and an explicitly seeded std engine (allowed -- only the
+// *argless* form is flagged).
+#include <random>
+
+int risky();
+
+struct Runner {
+    bool saw_error = false;
+
+    int run() {
+        try {
+            return risky();
+        } catch (...) {
+            saw_error = true;
+            throw;  // rethrow: not a swallow
+        }
+    }
+};
+
+unsigned lcg_from_seed(unsigned seed) {
+    return seed * 1664525u + 1013904223u;
+}
+
+unsigned seeded_engine(unsigned seed) {
+    std::mt19937 gen(seed);  // seeded from the experiment: allowed
+    return static_cast<unsigned>(gen());
+}

@@ -234,8 +234,10 @@ TEST(TelemetryPin, LiveWallMatchesDecodedDumpExactly) {
     const tel::Dump dump = tel::Dump::decode(live.encode());
 
     for (std::size_t r = 0; r < history.size(); ++r) {
-        const core::StageWall live_wall = history[r].wall;
-        const core::StageWall dump_wall = core::stage_wall_from(
+        // `auto` on purpose: naming the deprecated StageWall type would
+        // warn; the pin only cares about the field values.
+        const auto& live_wall = history[r].wall;
+        const auto dump_wall = core::stage_wall_from(
             tel::dump_round_stats(dump, sid, static_cast<std::uint32_t>(r)));
         // Exactly equal, not approximately: the capture and the session
         // harvest route the same records in the same order, and

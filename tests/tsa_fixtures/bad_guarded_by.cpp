@@ -1,0 +1,30 @@
+// Thread-safety-analysis fixture: must FAIL to compile under
+// -Wthread-safety -Werror=thread-safety.  The field is GUARDED_BY the
+// mutex but the method touches it without holding the lock -- exactly
+// the class of race the capability annotations exist to reject.  The
+// configure-time try_compile in CMakeLists.txt asserts this TU is
+// rejected whenever the compiler is Clang; if it ever compiles, the
+// analysis has been silently disabled.
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void unguarded_bump() {
+        ++value_;  // missing MutexLock: a thread-safety error
+    }
+
+private:
+    fairbfl::support::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.unguarded_bump();
+    return 0;
+}

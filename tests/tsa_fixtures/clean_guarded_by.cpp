@@ -1,0 +1,29 @@
+// Thread-safety-analysis fixture: must COMPILE under -Wthread-safety
+// -Werror=thread-safety.  Control for bad_guarded_by.cpp -- it proves
+// the try_compile harness itself is sound (include paths, standard,
+// flags), so a failure of the negative fixture can only mean the
+// analysis caught the violation, not that the harness is broken.
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void guarded_bump() {
+        fairbfl::support::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+private:
+    fairbfl::support::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.guarded_bump();
+    return 0;
+}
