@@ -1,5 +1,6 @@
 // Engineering micro-benchmarks: model gradients, SGD epochs, accuracy
-// evaluation, aggregation.
+// evaluation, aggregation, and the kernel-table A/B rows (scalar vs the
+// runtime-dispatched AVX2+FMA table behind support/simd.hpp).
 
 #include <benchmark/benchmark.h>
 
@@ -7,11 +8,123 @@
 #include "fl/aggregation.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/synthetic_mnist.hpp"
+#include "support/projection.hpp"
+#include "support/simd.hpp"
 #include "support/vecmath.hpp"
 
 namespace {
 
 using namespace fairbfl;
+
+/// CPU-feature report in the JSON header, so an A/B artifact records
+/// whether the simd rows could run on the producing host at all.
+const bool kContextRegistered = [] {
+    namespace simd = support::simd;
+    benchmark::AddCustomContext(
+        "cpu_avx2_fma", simd::cpu_supports_avx2_fma() ? "true" : "false");
+    benchmark::AddCustomContext(
+        "simd_table_built",
+        simd::detail::avx2_table() != nullptr ? "true" : "false");
+    return true;
+}();
+
+/// Selects the kernel table for one A/B row (range(1): 0 = scalar,
+/// 1 = simd) and restores the pinned scalar default on destruction.
+/// Returns false -- after flagging the row skipped -- when the simd leg
+/// cannot run on this host.
+struct KernelModeRow {
+    explicit KernelModeRow(benchmark::State& state)
+        : simd_row(state.range(1) != 0) {
+        namespace simd = support::simd;
+        if (simd_row && (!simd::cpu_supports_avx2_fma() ||
+                         simd::detail::avx2_table() == nullptr)) {
+            state.SkipWithError("avx2+fma unavailable");
+            ok = false;
+            return;
+        }
+        simd::set_mode(simd_row ? simd::Mode::kSimd : simd::Mode::kScalar);
+        state.SetLabel(simd_row ? "simd" : "scalar");
+    }
+    ~KernelModeRow() { support::simd::set_mode(support::simd::Mode::kScalar); }
+
+    bool simd_row;
+    bool ok = true;
+};
+
+std::vector<float> kernel_operand(std::size_t n, std::uint64_t seed) {
+    support::Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    return v;
+}
+
+void BM_KernelDot(benchmark::State& state) {
+    const KernelModeRow row(state);
+    if (!row.ok) return;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = kernel_operand(n, 7);
+    const auto y = kernel_operand(n, 8);
+    for (auto _ : state) benchmark::DoNotOptimize(support::dot(x, y));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_KernelDot)
+    ->Args({784, 0})->Args({784, 1})->Args({7850, 0})->Args({7850, 1});
+
+void BM_KernelAxpy(benchmark::State& state) {
+    const KernelModeRow row(state);
+    if (!row.ok) return;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = kernel_operand(n, 9);
+    auto y = kernel_operand(n, 10);
+    for (auto _ : state) {
+        support::axpy(0.01F, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_KernelAxpy)
+    ->Args({784, 0})->Args({784, 1})->Args({7850, 0})->Args({7850, 1});
+
+void BM_KernelGemv(benchmark::State& state) {
+    // The logistic forward shape: 10 classes x `dim` features.
+    const KernelModeRow row(state);
+    if (!row.ok) return;
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t classes = 10;
+    const auto a = kernel_operand(classes * dim, 11);
+    const auto x = kernel_operand(dim, 12);
+    const auto bias = kernel_operand(classes, 13);
+    std::vector<float> out(classes);
+    for (auto _ : state) {
+        support::gemv(a, classes, dim, x, bias, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(classes) *
+                            state.range(0));
+}
+BENCHMARK(BM_KernelGemv)
+    ->Args({784, 0})->Args({784, 1})->Args({7850, 0})->Args({7850, 1});
+
+void BM_KernelSketch(benchmark::State& state) {
+    // The GradientIndex build step: project 64 gradient rows of `dim`
+    // dims down to k = 48 through the seeded Gaussian matrix.
+    const KernelModeRow row(state);
+    if (!row.ok) return;
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto projection = support::gaussian_projection(dim, 48, 42);
+    std::vector<std::vector<float>> points(64);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i] = kernel_operand(dim, 100 + i);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(support::project_rows(projection, points));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(points.size()) *
+                            state.range(0));
+}
+BENCHMARK(BM_KernelSketch)->Args({784, 0})->Args({784, 1});
 
 const ml::Dataset& dataset() {
     static const ml::Dataset data = ml::make_synthetic_mnist(

@@ -30,6 +30,7 @@
 #include "core/system.hpp"
 #include "fl/sharding.hpp"
 #include "support/cli.hpp"
+#include "support/simd.hpp"
 
 using namespace fairbfl;
 
@@ -121,6 +122,8 @@ int main(int argc, char** argv) {
             "                         sampled)\n"
             "  --shards=1             hierarchical shard-tree fan-out\n"
             "                         (1 = flat single-pass Algorithm 2)\n"
+            "  --kernels=scalar       vector-kernel table: scalar|simd|auto\n"
+            "                         (scalar = the bit-pinned default)\n"
             "  --seed=42 --miners=2 --out=FILE");
         return 0;
     }
@@ -135,8 +138,14 @@ int main(int argc, char** argv) {
     const std::string engine = args.get_string("engine", "batched");
     const std::string index = args.get_string("index", "exact");
     const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
+    const std::string kernels = args.get_string("kernels", "scalar");
     const std::string out_path = args.get_string("out", "");
     if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
+    if (!support::simd::set_mode_name(kernels.c_str())) {
+        std::fprintf(stderr, "bench_perf_round: bad --kernels '%s'\n",
+                     kernels.c_str());
+        return 1;
+    }
     if (engine != "batched" && engine != "reference") {
         std::fprintf(stderr, "bench_perf_round: bad --engine '%s'\n",
                      engine.c_str());
@@ -217,6 +226,11 @@ int main(int argc, char** argv) {
     json += "  \"system\": \"" + system + "\",\n";
     json += "  \"engine\": \"" + engine + "\",\n";
     json += "  \"index\": \"" + index + "\",\n";
+    // Requested mode plus the table that actually served (auto on a
+    // non-AVX2 host degrades to scalar; A/B consumers must see which).
+    json += "  \"kernels\": \"" + kernels + "\",\n";
+    json += "  \"kernels_active\": \"" +
+            std::string(support::simd::active_name()) + "\",\n";
     char header[192];
     std::snprintf(header, sizeof header,
                   "  \"shards\": %zu,\n"

@@ -17,6 +17,7 @@
 #include "core/system.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/simd.hpp"
 #include "telemetry/decode.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -71,6 +72,11 @@ int main(int argc, char** argv) {
             "                       the clustering algorithm)\n"
             "  --shards=N           hierarchical shard-tree fan-out for\n"
             "                       Algorithm 2 (1 = flat single pass)\n"
+            "  --kernels=NAME       vector-kernel table (scalar|simd|auto;\n"
+            "                       scalar -- the default -- is bit-pinned,\n"
+            "                       simd/auto trade bit-identity for the\n"
+            "                       AVX2+FMA kernels; FAIRBFL_KERNELS env\n"
+            "                       sets the same switch)\n"
             "  --aggregator=NAME    combine rule (simple|sample_weighted|\n"
             "                       fair|trimmed_mean|median)\n"
             "  --list               print every registered backend and exit\n"
@@ -142,6 +148,9 @@ int main(int argc, char** argv) {
     const std::string clustering = args.get_string("clustering", "dbscan");
     const std::string index = args.get_string("index", "auto");
     const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
+    // Empty default defers to FAIRBFL_KERNELS (resolved on first kernel
+    // call); an explicit flag wins over the environment.
+    const std::string kernels = args.get_string("kernels", "");
     const std::string aggregator = args.get_string("aggregator", "");
     const bool encrypt = args.get_flag("encrypt");
     const auto key_bits = static_cast<std::size_t>(
@@ -154,6 +163,14 @@ int main(int argc, char** argv) {
     const std::string trace_format =
         args.get_string("trace-format", "binary");
     if (!args.finish("fairbfl_sim")) return 1;
+    if (!kernels.empty() &&
+        !support::simd::set_mode_name(kernels.c_str())) {
+        std::fprintf(stderr,
+                     "--kernels: unknown table '%s' (known: scalar simd "
+                     "auto)\n",
+                     kernels.c_str());
+        return 1;
+    }
     if (trace_format != "binary" && trace_format != "text" &&
         trace_format != "json") {
         std::fprintf(stderr,

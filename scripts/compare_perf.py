@@ -20,8 +20,11 @@ them but never gate (a flat run legitimately has zeros there).  Each
 artifact's configuration line (index backend, engine, shard fan-out) is
 printed so the summary says which backend each sweep actually ran.
 
-A missing/unreadable previous artifact is not an error -- the first run on
-a branch has nothing to compare against.
+A missing/unreadable previous artifact falls back to the committed seed
+baseline (bench/baselines/perf_round_seed.json, --seed-baseline to
+relocate): the first run on a branch then gates against the repo's own
+pinned numbers instead of passing silently.  Only when the fallback is
+unreadable too does the comparison no-op.
 
 Schema tolerance: artifacts carry a `schema_version` (added in the
 telemetry PR, version 2).  An artifact with a missing or different version
@@ -32,7 +35,13 @@ gate keeps working across artifact generations.
 
 import argparse
 import json
+import pathlib
 import sys
+
+# Committed pre-change baseline (CI sweep shape), the comparison target of
+# last resort when no previous CI artifact exists.
+SEED_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+                 / "bench" / "baselines" / "perf_round_seed.json")
 
 # The artifact generation this script was written against.  Older
 # artifacts (no schema_version) and newer ones are compared best-effort
@@ -106,14 +115,24 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative regression that triggers a warning")
     parser.add_argument("--fail-on-regression", action="store_true")
+    parser.add_argument("--seed-baseline", default=str(SEED_BASELINE),
+                        help="fallback artifact when the previous one is "
+                             "missing (default: the committed seed baseline)")
     args = parser.parse_args()
 
     try:
         previous, prev_peak, prev_config = load_artifact(args.previous,
                                                          "previous")
     except (OSError, ValueError, KeyError) as error:
-        print(f"No previous perf artifact to compare against ({error}).")
-        return 0
+        print(f"No previous perf artifact ({error}); "
+              f"falling back to the committed seed baseline.")
+        try:
+            previous, prev_peak, prev_config = load_artifact(
+                args.seed_baseline, "seed baseline")
+        except (OSError, ValueError, KeyError) as seed_error:
+            print(f"No seed baseline to compare against either "
+                  f"({seed_error}).")
+            return 0
     try:
         current, curr_peak, curr_config = load_artifact(args.current,
                                                         "current")

@@ -16,6 +16,12 @@ Rules (each with a per-rule allowlist in allowlists.json):
   catch-swallow       no `catch (...)` in src/ that swallows without
                       rethrowing (or capturing via std::current_exception
                       for a later rethrow).
+  simd-isolation      no x86 intrinsic headers (<immintrin.h> and
+                      friends) or _mm*/__m* intrinsics outside
+                      src/support/simd* -- ISA-specific code lives behind
+                      the runtime-dispatched KernelTable
+                      (support/simd.hpp), keeping every other TU portable
+                      and the scalar bit-pins the default.
   telemetry-hotpath   no allocation (new/malloc/containers growing), no
                       lock, no ad-hoc std::chrono::*::now(), and no throw
                       reachable from the telemetry emission paths
@@ -254,6 +260,47 @@ def rule_catch_swallow(path: str, tokens: list[Token]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: simd-isolation
+
+# x86 intrinsic headers (umbrella and per-ISA) -- none may appear outside
+# the dispatch layer.
+_SIMD_HEADERS = {
+    "<immintrin.h>", "<x86intrin.h>", "<x86gprintrin.h>", "<xmmintrin.h>",
+    "<emmintrin.h>", "<pmmintrin.h>", "<tmmintrin.h>", "<smmintrin.h>",
+    "<nmmintrin.h>", "<wmmintrin.h>", "<ammintrin.h>",
+}
+
+_SIMD_IDENT_PREFIXES = ("_mm_", "_mm256_", "_mm512_", "__m128", "__m256",
+                        "__m512")
+
+
+def rule_simd_isolation(path: str, tokens: list[Token]) -> list[Finding]:
+    out = []
+    for t in tokens:
+        if t.kind == PP and t.value.startswith("#include"):
+            header = t.value.split("#include", 1)[1].strip()
+            if header in _SIMD_HEADERS:
+                out.append(
+                    Finding(
+                        "simd-isolation", path, t.line, t.col,
+                        f"x86 intrinsic header {header} outside "
+                        "src/support/simd*: ISA-specific code lives "
+                        "behind the runtime-dispatched KernelTable "
+                        "(support/simd.hpp) so every other TU stays "
+                        "portable and the scalar bit-pins stay the "
+                        "default"))
+        elif t.kind == IDENT and t.value.startswith(_SIMD_IDENT_PREFIXES):
+            out.append(
+                Finding(
+                    "simd-isolation", path, t.line, t.col,
+                    f"x86 intrinsic `{t.value}` outside src/support/simd*: "
+                    "add the kernel to the KernelTable "
+                    "(support/simd.hpp) instead of open-coding ISA "
+                    "instructions here"))
+    return out
+
+
+# --------------------------------------------------------------------------
 # Rule: telemetry-hotpath
 
 # The emission entry points of src/telemetry/telemetry.{hpp,cpp}: the Span
@@ -392,7 +439,7 @@ def rule_telemetry_hotpath(path: str, tokens: list[Token],
 # --------------------------------------------------------------------------
 # Driver
 
-RULES = ("raw-sync", "rng-determinism", "catch-swallow",
+RULES = ("raw-sync", "rng-determinism", "catch-swallow", "simd-isolation",
          "telemetry-hotpath")
 
 
@@ -425,6 +472,8 @@ def lint_file(path: str, virtual_path: str, rules, allow) -> list[Finding]:
         findings += rule_rng_determinism(path, tokens)
     if "catch-swallow" in rules and in_src and not exempt("catch-swallow"):
         findings += rule_catch_swallow(path, tokens)
+    if "simd-isolation" in rules and in_src and not exempt("simd-isolation"):
+        findings += rule_simd_isolation(path, tokens)
     if "telemetry-hotpath" in rules and \
             virtual_path.startswith("src/telemetry/"):
         stops = allow.get("telemetry-hotpath", {}).get("stop_functions", {})

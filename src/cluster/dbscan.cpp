@@ -105,10 +105,19 @@ double suggest_eps(std::span<const std::vector<float>> points,
 double suggest_eps(const GradientIndex& index, std::size_t min_pts) {
     const std::size_t n = index.size();
     if (n <= min_pts) return 0.0;
-    return median_kth_distance(n, min_pts,
-                               [&](std::size_t i, std::span<double> row) {
-                                   index.distances_from(i, row);
-                               });
+    // Per-point k-distance through the index's own query: backends with a
+    // pruned search (the banded sketch index) answer in o(n) per point,
+    // and the contract on kth_distance (an order statistic is a value,
+    // not a scan order) keeps the median bit-identical to the old
+    // materialize-the-row path for every backend.
+    std::vector<double> kth;
+    kth.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kth.push_back(index.kth_distance(i, min_pts));
+    std::nth_element(kth.begin(),
+                     kth.begin() + static_cast<std::ptrdiff_t>(kth.size() / 2),
+                     kth.end());
+    return kth[kth.size() / 2];
 }
 
 double suggest_eps(const DistanceMatrix& dist, std::size_t min_pts) {

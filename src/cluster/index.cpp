@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/rng.hpp"
+#include "support/vecmath.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fairbfl::cluster {
@@ -43,6 +44,20 @@ void GradientIndex::distances_from(std::size_t i,
     for (std::size_t j = 0; j < n; ++j) out[j] = distance(i, j);
 }
 
+double GradientIndex::kth_distance(std::size_t i, std::size_t k) const {
+    std::vector<double> row(size());
+    distances_from(i, row);
+    std::nth_element(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k),
+                     row.end());
+    return row[k];
+}
+
+bool GradientIndex::update(std::span<const std::vector<float>> /*points*/,
+                           std::span<const std::uint8_t> /*moved*/,
+                           support::ThreadPool& /*pool*/) {
+    return false;
+}
+
 // --- MatrixBackedIndex -----------------------------------------------------
 
 std::vector<std::size_t> MatrixBackedIndex::neighbors_within(
@@ -77,27 +92,227 @@ void MatrixBackedIndex::distances_from(std::size_t i,
 
 // --- RandomProjectionIndex -------------------------------------------------
 
+namespace {
+
+/// Conservative slack for the norm-difference lower bound: the triangle
+/// inequality |  ||a|| - ||b||  | <= ||a - b|| holds in real arithmetic,
+/// but norms and distances are each rounded once, so the banded pruning
+/// widens every bound before excluding anything.
+constexpr double kBandRelSlack = 1e-9;
+constexpr double kBandAbsSlack = 1e-12;
+
+double sketch_norm(std::span<const float> sketch) noexcept {
+    return support::norm2(sketch);
+}
+
+}  // namespace
+
 RandomProjectionIndex::RandomProjectionIndex(
     std::span<const std::vector<float>> points, const IndexParams& params,
-    support::ThreadPool& pool) {
+    support::ThreadPool& pool)
+    : metric_(params.metric), n_(points.size()) {
     if (points.empty()) return;
     const std::size_t dim = points[0].size();
     const std::size_t k = std::max<std::size_t>(params.projection_dims, 1);
     if (dim <= k || points.size() <= 2 * k) {
         // Below the break-even (see class comment) the sketches are the
         // originals: exact distances, cheaper than projecting.  The
-        // backend keeps its approximate contract (exact() stays false) --
-        // consumers must not special-case this.
+        // fallback *reports* its exactness (exact() == true) so the theta
+        // read-back reuses the matrix rows it already paid for instead of
+        // recomputing the global's row.
         sketch_dims_ = dim;
-        matrix_ = DistanceMatrix(params.metric, points, pool);
+        fallback_ = true;
+        dense_ = DistanceMatrix(params.metric, points, pool);
         return;
     }
     sketch_dims_ = k;
-    const support::ProjectionMatrix projection =
-        support::gaussian_projection(dim, k, params.seed);
-    const std::vector<std::vector<float>> sketches =
-        support::project_rows(projection, points, pool);
-    matrix_ = DistanceMatrix(params.metric, sketches, pool);
+    projection_ = support::gaussian_projection(dim, k, params.seed);
+    sketches_ = support::project_rows(projection_, points, pool);
+    norms_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) norms_[i] = sketch_norm(sketches_[i]);
+    sort_by_norm();
+}
+
+void RandomProjectionIndex::sort_by_norm() {
+    norm_order_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) norm_order_[i] = i;
+    std::sort(norm_order_.begin(), norm_order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (norms_[a] != norms_[b]) return norms_[a] < norms_[b];
+                  return a < b;
+              });
+}
+
+std::pair<std::size_t, std::size_t> RandomProjectionIndex::norm_band(
+    double lo, double hi) const {
+    const auto begin = std::lower_bound(
+        norm_order_.begin(), norm_order_.end(), lo,
+        [&](std::size_t id, double value) { return norms_[id] < value; });
+    const auto end = std::upper_bound(
+        begin, norm_order_.end(), hi,
+        [&](double value, std::size_t id) { return value < norms_[id]; });
+    return {static_cast<std::size_t>(begin - norm_order_.begin()),
+            static_cast<std::size_t>(end - norm_order_.begin())};
+}
+
+double RandomProjectionIndex::distance(std::size_t i, std::size_t j) const {
+    if (fallback_) return dense_.at(i, j);
+    if (i == j) return 0.0;
+    // Exactly the kernels DistanceMatrix applies per pair, so on-demand
+    // values are bit-identical to the dense sketch matrix this replaced.
+    if (metric_ == Metric::kCosine) {
+        return support::cosine_distance_cached(sketches_[i], sketches_[j],
+                                               norms_[i], norms_[j]);
+    }
+    return std::sqrt(
+        support::squared_distance_blocked(sketches_[i], sketches_[j]));
+}
+
+std::vector<std::size_t> RandomProjectionIndex::neighbors_within(
+    std::size_t i, double eps) const {
+    std::vector<std::size_t> neighbors;
+    if (fallback_) {
+        const auto row = dense_.row(i);
+        for (std::size_t j = 0; j < row.size(); ++j)
+            if (row[j] <= eps) neighbors.push_back(j);
+        return neighbors;
+    }
+    if (metric_ != Metric::kEuclidean) {
+        for (std::size_t j = 0; j < n_; ++j)
+            if (distance(i, j) <= eps) neighbors.push_back(j);
+        return neighbors;
+    }
+    // Banded scan: ||s_i - s_j|| >= | ||s_i|| - ||s_j|| |, so only the
+    // norm band [||s_i|| - eps, ||s_i|| + eps] (widened by the FP slack)
+    // can contain radius-eps neighbours.
+    const double reach = eps * (1.0 + kBandRelSlack) + kBandAbsSlack;
+    const auto [lo, hi] = norm_band(norms_[i] - reach, norms_[i] + reach);
+    for (std::size_t r = lo; r < hi; ++r) {
+        const std::size_t j = norm_order_[r];
+        if (distance(i, j) <= eps) neighbors.push_back(j);
+    }
+    // Ascending ordinals, matching the dense row scan's output exactly.
+    std::sort(neighbors.begin(), neighbors.end());
+    return neighbors;
+}
+
+std::size_t RandomProjectionIndex::nearest_of(
+    std::size_t i, std::span<const std::size_t> candidates) const {
+    if (fallback_) {
+        const auto row = dense_.row(i);
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t nearest = candidates.front();
+        for (const std::size_t candidate : candidates) {
+            if (row[candidate] < best) {
+                best = row[candidate];
+                nearest = candidate;
+            }
+        }
+        return nearest;
+    }
+    return GradientIndex::nearest_of(i, candidates);
+}
+
+void RandomProjectionIndex::distances_from(std::size_t i,
+                                           std::span<double> out) const {
+    if (fallback_) {
+        const auto row = dense_.row(i);
+        std::copy(row.begin(), row.end(), out.begin());
+        return;
+    }
+    GradientIndex::distances_from(i, out);
+}
+
+double RandomProjectionIndex::kth_distance(std::size_t i,
+                                           std::size_t k) const {
+    if (fallback_ || metric_ != Metric::kEuclidean)
+        return GradientIndex::kth_distance(i, k);
+    // Expand outward from i in norm order, keeping the k+1 smallest
+    // distances seen in a max-heap.  Once the heap is full, a candidate
+    // whose norm-difference lower bound exceeds the heap top (with FP
+    // slack) cannot enter the k+1 smallest -- and in norm order neither
+    // can anything beyond it on that side.  The result is the exact k-th
+    // order statistic of the full row: order statistics are values, so
+    // this matches the materialize-and-select default bit for bit.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::find(norm_order_.begin(), norm_order_.end(), i) -
+        norm_order_.begin());
+    std::vector<double> heap;  // max-heap of the k+1 smallest so far
+    heap.reserve(k + 2);
+    const auto offer = [&](double d) {
+        if (heap.size() <= k) {
+            heap.push_back(d);
+            std::push_heap(heap.begin(), heap.end());
+        } else if (d < heap.front()) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.back() = d;
+            std::push_heap(heap.begin(), heap.end());
+        }
+    };
+    const auto bound_allows = [&](double norm_gap) {
+        if (heap.size() <= k) return true;
+        return norm_gap <= heap.front() * (1.0 + kBandRelSlack) +
+                               kBandAbsSlack;
+    };
+    offer(0.0);  // self-distance, always part of the row
+    std::size_t left = rank;        // next unvisited on the low side + 1
+    std::size_t right = rank + 1;   // next unvisited on the high side
+    bool left_open = left > 0;
+    bool right_open = right < n_;
+    while (left_open || right_open) {
+        const double left_gap =
+            left_open ? norms_[i] - norms_[norm_order_[left - 1]]
+                      : std::numeric_limits<double>::infinity();
+        const double right_gap =
+            right_open ? norms_[norm_order_[right]] - norms_[i]
+                       : std::numeric_limits<double>::infinity();
+        if (left_gap <= right_gap) {
+            if (!bound_allows(left_gap)) {
+                left_open = false;
+                continue;
+            }
+            offer(distance(i, norm_order_[left - 1]));
+            --left;
+            left_open = left > 0;
+        } else {
+            if (!bound_allows(right_gap)) {
+                right_open = false;
+                continue;
+            }
+            offer(distance(i, norm_order_[right]));
+            ++right;
+            right_open = right < n_;
+        }
+    }
+    return heap.front();
+}
+
+std::size_t RandomProjectionIndex::storage_bytes() const noexcept {
+    if (fallback_)
+        return (dense_.size() * dense_.size() + dense_.norms().size()) *
+               sizeof(double);
+    return n_ * sketch_dims_ * sizeof(float) + norms_.size() * sizeof(double) +
+           norm_order_.size() * sizeof(std::size_t) +
+           projection_.rows.size() * sizeof(float);
+}
+
+bool RandomProjectionIndex::update(std::span<const std::vector<float>> points,
+                                   std::span<const std::uint8_t> moved,
+                                   support::ThreadPool& pool) {
+    if (fallback_ || n_ == 0) return false;
+    if (points.size() != n_ || moved.size() != n_) return false;
+    if (points[0].size() != projection_.in_dim) return false;
+    support::parallel_for(
+        0, n_,
+        [&](std::size_t i) {
+            if (moved[i] == 0) return;
+            support::gemv(projection_.rows, projection_.out_dim,
+                          projection_.in_dim, points[i], {}, sketches_[i]);
+            norms_[i] = sketch_norm(sketches_[i]);
+        },
+        pool);
+    sort_by_norm();
+    return true;
 }
 
 // --- SampledIndex ----------------------------------------------------------
@@ -115,8 +330,15 @@ SampledIndex::SampledIndex(std::span<const std::vector<float>> points,
     }
     pivots_ = std::max<std::size_t>(params.pivots, 1);
     auto rng = support::Rng::fork(params.seed, /*stream=*/0x51A4);
-    const std::vector<std::size_t> pivot_ids =
-        rng.sample_indices(n_, pivots_);
+    pivot_ids_ = rng.sample_indices(n_, pivots_);
+
+    // Owned pivot copies: signatures are *defined* as exact distances to
+    // these copies, which is what keeps incremental update() consistent --
+    // a pivot whose gradient drifts below the refresh threshold keeps its
+    // old copy, and every signature stays exact against it.
+    pivot_points_.reserve(pivots_);
+    for (const std::size_t id : pivot_ids_)
+        pivot_points_.emplace_back(points[id].begin(), points[id].end());
 
     signatures_.resize(n_ * pivots_);
     support::parallel_for(
@@ -125,9 +347,55 @@ SampledIndex::SampledIndex(std::span<const std::vector<float>> points,
             double* row = signatures_.data() + i * pivots_;
             for (std::size_t p = 0; p < pivots_; ++p)
                 row[p] = cluster::distance(metric_, points[i],
-                                           points[pivot_ids[p]]);
+                                           pivot_points_[p]);
         },
         pool);
+}
+
+void SampledIndex::distances_from(std::size_t i,
+                                  std::span<double> out) const {
+    if (pivots_ == 0 && n_ > 0) {
+        const auto row = dense_.row(i);
+        std::copy(row.begin(), row.end(), out.begin());
+        return;
+    }
+    GradientIndex::distances_from(i, out);
+}
+
+bool SampledIndex::update(std::span<const std::vector<float>> points,
+                          std::span<const std::uint8_t> moved,
+                          support::ThreadPool& pool) {
+    if (pivots_ == 0) return false;
+    if (points.size() != n_ || moved.size() != n_) return false;
+    // Refresh the copies of moved pivots first: their column changes for
+    // *every* row (the signature invariant is "exact distance to the
+    // stored copy"), not just for moved points.
+    std::vector<std::size_t> moved_pivots;
+    for (std::size_t p = 0; p < pivots_; ++p) {
+        if (moved[pivot_ids_[p]] != 0) {
+            pivot_points_[p].assign(points[pivot_ids_[p]].begin(),
+                                    points[pivot_ids_[p]].end());
+            moved_pivots.push_back(p);
+        }
+    }
+    support::parallel_for(
+        0, n_,
+        [&](std::size_t i) {
+            double* row = signatures_.data() + i * pivots_;
+            if (moved[i] != 0) {
+                // Moved point: its whole profile is stale.
+                for (std::size_t p = 0; p < pivots_; ++p)
+                    row[p] = cluster::distance(metric_, points[i],
+                                               pivot_points_[p]);
+                return;
+            }
+            // Unmoved point: only the moved pivots' coordinates changed.
+            for (const std::size_t p : moved_pivots)
+                row[p] = cluster::distance(metric_, points[i],
+                                           pivot_points_[p]);
+        },
+        pool);
+    return true;
 }
 
 double SampledIndex::distance(std::size_t i, std::size_t j) const {

@@ -44,6 +44,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cluster/distance.hpp"
@@ -66,6 +67,13 @@ struct IndexParams {
     /// Seed for the projection matrix / pivot sampling.  Affects index
     /// internals only, never the round's Rng streams.
     std::uint64_t seed = 42;
+    /// Incremental maintenance (IndexCache): relative L2 drift of a point
+    /// between rounds above which update() re-sketches it.  0 re-sketches
+    /// every point each round -- bit-identical to a from-scratch rebuild,
+    /// the equivalence the incremental tests pin.  Converged federated
+    /// gradients drift slowly, so a small threshold skips most of the
+    /// O(n d k) re-sketch work late in training.
+    double refresh_threshold = 0.02;
 };
 
 /// Read-only neighborhood structure over one round's point set (the n
@@ -113,6 +121,39 @@ public:
     /// \param i   query point ordinal.
     /// \param out destination row; must hold exactly size() entries.
     virtual void distances_from(std::size_t i, std::span<double> out) const;
+
+    /// The k-th order statistic (0-based, self-distance included) of point
+    /// i's full distance row -- suggest_eps's k-distance query.  The
+    /// default materializes the row and selects; backends with a cheaper
+    /// pruned search override it, and because an order statistic is a
+    /// *value* (independent of scan order), any override must return the
+    /// bit-identical double.
+    /// \param i query point ordinal.
+    /// \param k order statistic, in [0, size()).
+    [[nodiscard]] virtual double kth_distance(std::size_t i,
+                                              std::size_t k) const;
+
+    /// True when update() can maintain this index across rounds instead of
+    /// a from-scratch rebuild.  False for the exact backends: rebuilding
+    /// them is the bit-pinned behavior the fixed-seed series rely on.
+    [[nodiscard]] virtual bool supports_update() const noexcept {
+        return false;
+    }
+
+    /// Incrementally re-points the index at `points` (same cardinality and
+    /// dimensionality as the build set), re-sketching only the positions
+    /// flagged in `moved`.  Returns false -- leaving the index unusable for
+    /// the new round, caller must rebuild -- when the backend cannot
+    /// update (default, or a break-even fallback holding a dense matrix).
+    /// With every position flagged the result is bit-identical to a
+    /// from-scratch rebuild over `points` (same params/seed).
+    /// \param points the new round's point set; same n and d as the build.
+    /// \param moved  per-point flags (nonzero = re-sketch), one per point.
+    /// \param pool   carries the re-sketch fan-out.
+    [[nodiscard]] virtual bool update(
+        std::span<const std::vector<float>> points,
+        std::span<const std::uint8_t> moved,
+        support::ThreadPool& pool = support::ThreadPool::global());
 
     /// True when distance() is the exact pairwise metric (no projection or
     /// sampling error).  Exactness-sensitive consumers (the theta scores)
@@ -251,15 +292,25 @@ private:
 /// n <= 2k the dense pairwise build (n^2 d / 2 products) is already
 /// cheaper than the projection (n d k products).  In both cases the index
 /// is built over the original points -- exact geometry at lower cost than
-/// any sketch -- so small rounds (e.g. the paper's 10-client Table 2
-/// setting) make identical decisions to the "exact" backend, and the
-/// approximation only engages at the scale where it pays.
-class RandomProjectionIndex final : public MatrixBackedIndex {
+/// any sketch -- and the index *reports* exact() accordingly, so the
+/// theta read-back reuses the dense rows instead of recomputing them.
+///
+/// Above the break-even the index stores the n x k sketch rows (plus their
+/// cached L2 norms) and answers every query on demand in O(k) -- no
+/// O(n^2) matrix is ever materialized.  Under the Euclidean metric the
+/// norm cache also powers a *banded* neighbourhood query: points are kept
+/// sorted by sketch norm, and |  ||a|| - ||b||  | <= ||a - b|| restricts a
+/// radius-eps scan (and the pruned k-distance search) to the norm band
+/// around the query, breaking the dense O(n^2 k) sweep on separated data.
+/// The cached projection matrix makes the index incrementally updatable
+/// across rounds (see GradientIndex::update).
+class RandomProjectionIndex final : public GradientIndex {
 public:
-    /// Projects, then builds the dense sketch-space matrix.
+    /// Projects the points to sketches (or, below break-even, builds the
+    /// dense exact matrix).
     /// \param points the round's point set; not borrowed after the build.
     /// \param params projection_dims (k), seed, and the query metric.
-    /// \param pool   carries the projection and matrix fan-out.
+    /// \param pool   carries the projection fan-out.
     RandomProjectionIndex(
         std::span<const std::vector<float>> points, const IndexParams& params,
         support::ThreadPool& pool = support::ThreadPool::global());
@@ -267,6 +318,43 @@ public:
     [[nodiscard]] std::string_view name() const noexcept override {
         return "random_projection";
     }
+    [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+    [[nodiscard]] Metric metric() const noexcept override { return metric_; }
+    /// Sketch-space distance, computed on demand with exactly the kernels
+    /// DistanceMatrix would apply to the sketches (exact matrix lookup in
+    /// the break-even fallback).
+    [[nodiscard]] double distance(std::size_t i,
+                                  std::size_t j) const override;
+    [[nodiscard]] std::vector<std::size_t> neighbors_within(
+        std::size_t i, double eps) const override;
+    [[nodiscard]] std::size_t nearest_of(
+        std::size_t i,
+        std::span<const std::size_t> candidates) const override;
+    void distances_from(std::size_t i, std::span<double> out) const override;
+    /// Pruned k-distance: expands a norm-ordered band around the query
+    /// until the norm-difference lower bound proves the remaining points
+    /// cannot enter the k smallest.  Bit-identical to the default's order
+    /// statistic (Euclidean sketch mode; delegates otherwise).
+    [[nodiscard]] double kth_distance(std::size_t i,
+                                      std::size_t k) const override;
+    /// True only in the break-even fallback, where the stored matrix holds
+    /// the exact pairwise metric over the original points.
+    [[nodiscard]] bool exact() const noexcept override { return fallback_; }
+    [[nodiscard]] bool precomputed_rows() const noexcept override {
+        return fallback_;
+    }
+    [[nodiscard]] std::size_t storage_bytes() const noexcept override;
+
+    [[nodiscard]] bool supports_update() const noexcept override {
+        return !fallback_ && n_ > 0;
+    }
+    /// Re-projects the moved rows through the cached matrix and refreshes
+    /// their norms; O(moved * d k) instead of the full O(n d k) build.
+    [[nodiscard]] bool update(
+        std::span<const std::vector<float>> points,
+        std::span<const std::uint8_t> moved,
+        support::ThreadPool& pool =
+            support::ThreadPool::global()) override;
 
     /// Sketch dimensionality actually used (0 when n == 0).
     [[nodiscard]] std::size_t sketch_dims() const noexcept {
@@ -274,7 +362,21 @@ public:
     }
 
 private:
+    /// Re-sorts norm_order_ after the norms changed (build and update).
+    void sort_by_norm();
+    /// Indices of norm_order_ whose norm lies within [lo, hi].
+    [[nodiscard]] std::pair<std::size_t, std::size_t> norm_band(
+        double lo, double hi) const;
+
+    Metric metric_ = Metric::kCosine;
+    std::size_t n_ = 0;
     std::size_t sketch_dims_ = 0;
+    bool fallback_ = false;
+    std::vector<std::vector<float>> sketches_;  ///< n x k sketch rows
+    std::vector<double> norms_;        ///< sketch L2 norms (band + cosine)
+    std::vector<std::size_t> norm_order_;  ///< point ids ascending by norm
+    support::ProjectionMatrix projection_;  ///< cached for update()
+    DistanceMatrix dense_;             ///< break-even fallback storage
 };
 
 /// Pivot-profile backend: m gradients are sampled as pivots, every point
@@ -289,9 +391,16 @@ private:
 /// When n <= m the profile table (n m distances) costs at least as much
 /// to build and store as the dense matrix it is supposed to avoid, so --
 /// like RandomProjectionIndex below its break-even -- the index holds the
-/// exact matrix instead (pivot_count() reports 0): small rounds decide
-/// identically to "exact", and the O(n m) cap engages exactly where the
-/// matrix would outgrow it.
+/// exact matrix instead (pivot_count() reports 0, exact() reports true so
+/// the theta read-back reuses the rows): small rounds decide identically
+/// to "exact", and the O(n m) cap engages exactly where the matrix would
+/// outgrow it.
+///
+/// The index keeps owned copies of the pivot gradients, which makes the
+/// signature table incrementally maintainable across rounds: update()
+/// refreshes the columns of moved pivots and the rows of moved points,
+/// leaving the signatures always equal to exact distances against the
+/// stored pivot copies.
 class SampledIndex final : public GradientIndex {
 public:
     /// Samples the pivots and fills the signature table.
@@ -313,6 +422,27 @@ public:
     /// \param i first point ordinal.
     /// \param j second point ordinal.
     [[nodiscard]] double distance(std::size_t i, std::size_t j) const override;
+    void distances_from(std::size_t i, std::span<double> out) const override;
+    /// True only in the small-n fallback, where the stored matrix holds
+    /// the exact pairwise metric over the original points.
+    [[nodiscard]] bool exact() const noexcept override {
+        return pivots_ == 0 && n_ > 0;
+    }
+    [[nodiscard]] bool precomputed_rows() const noexcept override {
+        return pivots_ == 0 && n_ > 0;
+    }
+
+    [[nodiscard]] bool supports_update() const noexcept override {
+        return pivots_ > 0;
+    }
+    /// Refreshes moved pivots' columns (their copies changed for everyone)
+    /// and moved points' rows; O((moved_pivots * n + moved_points * m) d)
+    /// instead of the full O(n m d) build.
+    [[nodiscard]] bool update(
+        std::span<const std::vector<float>> points,
+        std::span<const std::uint8_t> moved,
+        support::ThreadPool& pool =
+            support::ThreadPool::global()) override;
 
     /// Pivot count actually in use; 0 in the small-n dense fallback.
     [[nodiscard]] std::size_t pivot_count() const noexcept { return pivots_; }
@@ -328,6 +458,8 @@ private:
     std::size_t n_ = 0;
     std::size_t pivots_ = 0;
     std::vector<double> signatures_;  ///< n x m row-major pivot distances
+    std::vector<std::size_t> pivot_ids_;  ///< sampled point ordinals
+    std::vector<std::vector<float>> pivot_points_;  ///< owned pivot copies
     DistanceMatrix dense_;            ///< small-n fallback (n <= m)
 };
 

@@ -75,9 +75,16 @@ ContributionReport identify_contributions(
                                            ? algorithm->preferred_index()
                                            : std::string_view(config.index);
     const auto build_start = std::chrono::steady_clock::now();
-    const std::unique_ptr<cluster::GradientIndex> index =
-        cluster::IndexRegistry::global().build(index_key, points,
-                                               index_params);
+    // With a cache installed the previous round's index is update()d in
+    // place when only some points drifted (exact/lazy backends never
+    // cache, so they rebuild exactly as before); without one this is a
+    // plain registry build.
+    std::unique_ptr<cluster::GradientIndex> index =
+        config.index_cache != nullptr
+            ? config.index_cache->acquire(config.index_slot, index_key,
+                                          points, index_params)
+            : cluster::IndexRegistry::global().build(index_key, points,
+                                                     index_params);
     report.index_build_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       build_start)
@@ -187,6 +194,15 @@ ContributionReport identify_contributions(
             static_cast<double>(report.high_indices.size());
         for (const std::size_t i : report.high_indices)
             report.entries[i].reward = share;
+    }
+
+    // Hand the index (and the point set it reflects) back for next
+    // round's incremental update.  Backends that cannot update are
+    // dropped inside -- they rebuild next round exactly as before.
+    if (config.index_cache != nullptr) {
+        config.index_cache->release(config.index_slot, index_key,
+                                    std::move(points), index_params,
+                                    std::move(index));
     }
     return report;
 }

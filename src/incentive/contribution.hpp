@@ -24,6 +24,7 @@
 
 #include "cluster/clustering.hpp"
 #include "cluster/index.hpp"
+#include "cluster/index_cache.hpp"
 #include "cluster/registry.hpp"
 #include "fl/aggregation.hpp"
 #include "fl/gradient.hpp"
@@ -73,6 +74,17 @@ struct ContributionConfig {
     cluster::IndexParams index_params;
     /// The paper's `base` reward multiplier per round.
     double reward_base = 1.0;
+    /// Cross-round index cache (cluster/index_cache.hpp).  Null skips
+    /// caching and rebuilds every round.  The contribution policies
+    /// (core/strategies.cpp) install one per system, so consecutive
+    /// rounds with an updatable backend maintain the index incrementally;
+    /// exact/lazy backends rebuild regardless, keeping pinned series
+    /// intact.  Shared so hierarchical per-shard config copies reuse one
+    /// cache under distinct slots.
+    std::shared_ptr<cluster::IndexCache> index_cache;
+    /// This pass's slot in the cache (hierarchical.cpp gives the root
+    /// pass and every shard pass their own).
+    std::size_t index_slot = 0;
     /// Hierarchical shard tree (fl/sharding.hpp): `shards > 1` splits the
     /// round into that many independent shard-level Algorithm 2 passes
     /// plus a root pass over the shard summaries

@@ -4,6 +4,14 @@
 #include <cmath>
 
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
+
+// Every kernel below routes through the runtime-dispatched table in
+// support/simd.{hpp,cpp}.  The scalar table holds the pinned reference
+// loops (byte-for-byte the bodies that used to live here); the avx2 table
+// is the tolerance-pinned fast path.  This file keeps the span-based
+// contracts and assertions; the tables work on raw pointers so the
+// `-march`-gated TU stays dependency-free.
 
 namespace fairbfl::support {
 
@@ -18,16 +26,7 @@ constexpr std::size_t kDimChunk = 8192;
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
     assert(x.size() == y.size());
-    const std::size_t n = x.size();
-    // Elementwise, so the 4-way unroll is bit-identical to the plain loop.
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        y[i] += alpha * x[i];
-        y[i + 1] += alpha * x[i + 1];
-        y[i + 2] += alpha * x[i + 2];
-        y[i + 3] += alpha * x[i + 3];
-    }
-    for (; i < n; ++i) y[i] += alpha * x[i];
+    simd::active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::span<float> x, float alpha) noexcept {
@@ -40,12 +39,7 @@ void fill(std::span<float> x, float value) noexcept {
 
 double dot(std::span<const float> x, std::span<const float> y) noexcept {
     assert(x.size() == y.size());
-    // Strictly left-to-right: training and theta depend on these bits.
-    double acc = 0.0;
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-    return acc;
+    return simd::active().dot(x.data(), y.data(), x.size());
 }
 
 double norm2(std::span<const float> x) noexcept {
@@ -55,59 +49,20 @@ double norm2(std::span<const float> x) noexcept {
 double squared_distance(std::span<const float> x,
                         std::span<const float> y) noexcept {
     assert(x.size() == y.size());
-    double acc = 0.0;
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
-        acc += d * d;
-    }
-    return acc;
+    return simd::active().squared_distance(x.data(), y.data(), x.size());
 }
 
 double dot_blocked(std::span<const float> x,
                    std::span<const float> y) noexcept {
     assert(x.size() == y.size());
-    const std::size_t n = x.size();
-    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-        a1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
-        a2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
-        a3 += static_cast<double>(x[i + 3]) * static_cast<double>(y[i + 3]);
-    }
-    double acc = (a0 + a1) + (a2 + a3);
-    for (; i < n; ++i)
-        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-    return acc;
+    return simd::active().dot_blocked(x.data(), y.data(), x.size());
 }
 
 double squared_distance_blocked(std::span<const float> x,
                                 std::span<const float> y) noexcept {
     assert(x.size() == y.size());
-    const std::size_t n = x.size();
-    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        const double d0 =
-            static_cast<double>(x[i]) - static_cast<double>(y[i]);
-        const double d1 =
-            static_cast<double>(x[i + 1]) - static_cast<double>(y[i + 1]);
-        const double d2 =
-            static_cast<double>(x[i + 2]) - static_cast<double>(y[i + 2]);
-        const double d3 =
-            static_cast<double>(x[i + 3]) - static_cast<double>(y[i + 3]);
-        a0 += d0 * d0;
-        a1 += d1 * d1;
-        a2 += d2 * d2;
-        a3 += d3 * d3;
-    }
-    double acc = (a0 + a1) + (a2 + a3);
-    for (; i < n; ++i) {
-        const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
-        acc += d * d;
-    }
-    return acc;
+    return simd::active().squared_distance_blocked(x.data(), y.data(),
+                                                   x.size());
 }
 
 void gemv(std::span<const float> a, std::size_t rows, std::size_t cols,
@@ -117,77 +72,8 @@ void gemv(std::span<const float> a, std::size_t rows, std::size_t cols,
     assert(x.size() == cols);
     assert(out.size() >= rows);
     assert(bias.empty() || bias.size() >= rows);
-    const float* base = a.data();
-    const float* xp = x.data();
-    std::size_t r = 0;
-    // Four rows at a time: four independent left-to-right double chains
-    // hide the FP-add latency that serializes a single `dot`.  The inner
-    // loop is unrolled by two columns; each chain still receives its
-    // products strictly in column order, so every row is bit-identical to
-    // a lone `dot`.
-    for (; r + 4 <= rows; r += 4) {
-        const float* a0 = base + r * cols;
-        const float* a1 = a0 + cols;
-        const float* a2 = a1 + cols;
-        const float* a3 = a2 + cols;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        std::size_t j = 0;
-        for (; j + 2 <= cols; j += 2) {
-            const double x0 = static_cast<double>(xp[j]);
-            const double x1 = static_cast<double>(xp[j + 1]);
-            s0 += static_cast<double>(a0[j]) * x0;
-            s0 += static_cast<double>(a0[j + 1]) * x1;
-            s1 += static_cast<double>(a1[j]) * x0;
-            s1 += static_cast<double>(a1[j + 1]) * x1;
-            s2 += static_cast<double>(a2[j]) * x0;
-            s2 += static_cast<double>(a2[j + 1]) * x1;
-            s3 += static_cast<double>(a3[j]) * x0;
-            s3 += static_cast<double>(a3[j + 1]) * x1;
-        }
-        for (; j < cols; ++j) {
-            const double xj = static_cast<double>(xp[j]);
-            s0 += static_cast<double>(a0[j]) * xj;
-            s1 += static_cast<double>(a1[j]) * xj;
-            s2 += static_cast<double>(a2[j]) * xj;
-            s3 += static_cast<double>(a3[j]) * xj;
-        }
-        if (bias.empty()) {
-            out[r] = static_cast<float>(s0);
-            out[r + 1] = static_cast<float>(s1);
-            out[r + 2] = static_cast<float>(s2);
-            out[r + 3] = static_cast<float>(s3);
-        } else {
-            out[r] = bias[r] + static_cast<float>(s0);
-            out[r + 1] = bias[r + 1] + static_cast<float>(s1);
-            out[r + 2] = bias[r + 2] + static_cast<float>(s2);
-            out[r + 3] = bias[r + 3] + static_cast<float>(s3);
-        }
-    }
-    if (r + 2 <= rows) {
-        // Two-row tail block: still two interleaved chains instead of
-        // falling back to the latency-bound single dot.
-        const float* a0 = base + r * cols;
-        const float* a1 = a0 + cols;
-        double s0 = 0.0, s1 = 0.0;
-        for (std::size_t j = 0; j < cols; ++j) {
-            const double xj = static_cast<double>(xp[j]);
-            s0 += static_cast<double>(a0[j]) * xj;
-            s1 += static_cast<double>(a1[j]) * xj;
-        }
-        if (bias.empty()) {
-            out[r] = static_cast<float>(s0);
-            out[r + 1] = static_cast<float>(s1);
-        } else {
-            out[r] = bias[r] + static_cast<float>(s0);
-            out[r + 1] = bias[r + 1] + static_cast<float>(s1);
-        }
-        r += 2;
-    }
-    if (r < rows) {
-        const double s = dot(a.subspan(r * cols, cols), x);
-        out[r] = bias.empty() ? static_cast<float>(s)
-                              : bias[r] + static_cast<float>(s);
-    }
+    simd::active().gemv(a.data(), rows, cols, x.data(),
+                        bias.empty() ? nullptr : bias.data(), out.data());
 }
 
 void gemv_transpose_accumulate(std::span<const float> a, std::size_t rows,
@@ -196,11 +82,8 @@ void gemv_transpose_accumulate(std::span<const float> a, std::size_t rows,
     assert(a.size() == rows * cols);
     assert(d.size() >= rows);
     assert(out.size() >= cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-        const float dr = d[r];
-        const float* row = a.data() + r * cols;
-        for (std::size_t j = 0; j < cols; ++j) out[j] += dr * row[j];
-    }
+    simd::active().gemv_transpose_accumulate(a.data(), rows, cols, d.data(),
+                                             out.data());
 }
 
 void outer_accumulate(std::span<const float> d, std::span<const float> x,
@@ -209,8 +92,7 @@ void outer_accumulate(std::span<const float> d, std::span<const float> x,
     assert(d.size() >= rows);
     assert(x.size() == cols);
     assert(y.size() == rows * cols);
-    for (std::size_t r = 0; r < rows; ++r)
-        axpy(d[r], x, y.subspan(r * cols, cols));
+    simd::active().outer_accumulate(d.data(), x.data(), rows, cols, y.data());
 }
 
 void add_scaled_diff(float alpha, std::span<const float> x,
@@ -257,10 +139,27 @@ void cosine_distances_to(std::span<const std::vector<float>> rows,
                          std::span<const float> query,
                          std::span<double> out) noexcept {
     assert(rows.size() == out.size());
+    const auto& kernels = simd::active();
     const double query_norm = norm2(query);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        out[i] = cosine_distance_cached(rows[i], query, norm2(rows[i]),
-                                        query_norm);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        // Fused dot+norm: one traversal of the row instead of the separate
+        // norm2() and dot() passes.  The scalar table's fused kernel is two
+        // strict chains, so this stays bit-identical to the old two-pass
+        // body under the pinned default.
+        double d = 0.0;
+        double row_norm2 = 0.0;
+        kernels.dot_and_norm(rows[i].data(), query.data(), rows[i].size(), &d,
+                             &row_norm2);
+        const double row_norm = std::sqrt(row_norm2);
+        if (row_norm == 0.0 || query_norm == 0.0) {
+            out[i] = 1.0;
+            continue;
+        }
+        double cosine = d / (row_norm * query_norm);
+        if (cosine > 1.0) cosine = 1.0;
+        if (cosine < -1.0) cosine = -1.0;
+        out[i] = 1.0 - cosine;
+    }
 }
 
 void weighted_sum(std::span<const RowView> rows,
