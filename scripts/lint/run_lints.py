@@ -554,6 +554,70 @@ def self_test(fixtures_dir: str, allow) -> int:
     return 0
 
 
+_RULE_FNS = {
+    "raw-sync": rule_raw_sync,
+    "rng-determinism": rule_rng_determinism,
+    "catch-swallow": rule_catch_swallow,
+    "simd-isolation": rule_simd_isolation,
+}
+
+
+def check_stale_allowlists(pairs, allow) -> list[Finding]:
+    """Dead allowlist entries are worse than none: they read as a live
+    justification for a suppression that no longer happens.  An
+    exempt_paths prefix is stale when it matches no linted file OR when
+    re-running its rule on the matched files (exemption off) produces
+    zero findings -- either way the entry suppresses nothing.  A
+    telemetry-hotpath stop_function is stale when the name no longer
+    appears as an identifier anywhere in the linted src/telemetry/
+    sources."""
+    findings: list[Finding] = []
+    allowlist_rel = "scripts/lint/allowlists.json"
+    token_cache: dict[str, list[Token]] = {}
+
+    def tokens_of(path: str) -> list[Token]:
+        if path not in token_cache:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                token_cache[path] = cpplex.lex(f.read())
+        return token_cache[path]
+
+    for rule, fn in _RULE_FNS.items():
+        for prefix, why in allow.get(rule, {}).get("exempt_paths",
+                                                   {}).items():
+            matched = [(p, v) for p, v in pairs if v.startswith(prefix)]
+            if not matched:
+                findings.append(Finding(
+                    rule, allowlist_rel, 1, 1,
+                    f"stale exempt_paths entry `{prefix}`: matches no "
+                    "linted file -- delete it (and its justification: "
+                    f"{why!r})"))
+                continue
+            suppressed = 0
+            for path, virtual in matched:
+                if virtual.startswith("src/"):
+                    suppressed += len(fn(path, tokens_of(path)))
+            if suppressed == 0:
+                findings.append(Finding(
+                    rule, allowlist_rel, 1, 1,
+                    f"stale exempt_paths entry `{prefix}`: the {rule} "
+                    "rule finds nothing there even with the exemption "
+                    "off, so the entry suppresses nothing -- delete it"))
+    telemetry_idents: set[str] = set()
+    for path, virtual in pairs:
+        if virtual.startswith("src/telemetry/"):
+            telemetry_idents.update(
+                t.value for t in tokens_of(path) if t.kind == IDENT)
+    for name, why in allow.get("telemetry-hotpath",
+                               {}).get("stop_functions", {}).items():
+        if name not in telemetry_idents:
+            findings.append(Finding(
+                "telemetry-hotpath", allowlist_rel, 1, 1,
+                f"stale stop_functions entry `{name}`: no such "
+                "identifier appears in the linted telemetry sources "
+                f"any more -- delete it (justification was: {why!r})"))
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT,
@@ -584,6 +648,10 @@ def main() -> int:
     findings: list[Finding] = []
     for path, virtual in pairs:
         findings += lint_file(path, virtual, rules, allow)
+    if args.files is None:
+        # Tree mode sees every linted file, so staleness is decidable;
+        # --files subsets would declare live entries stale.
+        findings += check_stale_allowlists(pairs, allow)
     for f in findings:
         print(f)
     if findings:

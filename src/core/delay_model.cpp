@@ -114,7 +114,12 @@ double DelayModel::t_bl_vanilla(std::size_t miners, std::size_t blocks,
         }
         // Asynchronous mining wastes part of a block interval on empty
         // blocks (miners keep hashing while FL is still computing).
-        total += params_.idle_mining_fraction * outcome.solve_seconds;
+        // Named product so the accumulation is not an FMA-eligible
+        // expression (fp-determinism): same multiply, same add, but no
+        // single expression a contracting compiler could fuse.
+        const double idle_seconds =
+            params_.idle_mining_fraction * outcome.solve_seconds;
+        total += idle_seconds;
     }
     if (forks_out != nullptr) *forks_out = forks;
     if (merge_seconds_out != nullptr) *merge_seconds_out = merge_seconds;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/system.hpp"
+#include "ml/idx_loader.hpp"
 
 namespace fairbfl::core {
 

@@ -15,7 +15,6 @@
 #include "core/blockchain_baseline.hpp"
 #include "core/fairbfl.hpp"
 #include "fl/fedprox.hpp"
-#include "ml/idx_loader.hpp"
 #include "ml/partition.hpp"
 #include "ml/synthetic_mnist.hpp"
 #include "support/stats.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chain/mempool.hpp"
 #include "crypto/hybrid.hpp"
 #include "fl/sampling.hpp"
 #include "support/logging.hpp"

@@ -23,7 +23,6 @@
 #include <vector>
 
 #include "chain/chain.hpp"
-#include "chain/mempool.hpp"
 #include "core/attacker.hpp"
 #include "core/delay_model.hpp"
 #include "core/strategies.hpp"

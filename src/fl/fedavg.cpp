@@ -1,5 +1,7 @@
 #include "fl/fedavg.hpp"
 
+#include "fl/aggregation.hpp"
+
 namespace fairbfl::fl {
 
 std::vector<GradientUpdate> run_local_updates(

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "fl/aggregation.hpp"
 #include "fl/client.hpp"
 #include "fl/local_trainer.hpp"
 #include "fl/sampling.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fl/aggregation.hpp"
+
 namespace fairbfl::fl {
 
 FedProx::FedProx(const ml::Model& model, std::vector<Client> clients,

@@ -204,10 +204,15 @@ double label_skew(const std::vector<DatasetView>& shards,
             tv += std::abs(hist[c] / static_cast<double>(shard.size()) -
                            global_hist[c]);
         }
-        skew_sum += 0.5 * tv;
+        // Bit-identical to the former `skew_sum += 0.5 * tv`: scaling by
+        // a power of two is exact, so halving once outside the sum
+        // commutes with every rounding step -- and the accumulation stops
+        // being an FMA-eligible expression (fp-determinism).
+        skew_sum += tv;
         ++counted;
     }
-    return counted == 0 ? 0.0 : skew_sum / static_cast<double>(counted);
+    return counted == 0 ? 0.0
+                        : 0.5 * skew_sum / static_cast<double>(counted);
 }
 
 }  // namespace fairbfl::ml

@@ -4,8 +4,6 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "telemetry/telemetry.hpp"
-
 namespace fairbfl::support::simd {
 
 namespace {
@@ -203,6 +201,13 @@ constexpr KernelTable kScalarTable = {
 
 std::atomic<const KernelTable*> g_active{nullptr};
 
+// Regression note (PR 9): publish() used to emit the kernels.dispatch
+// telemetry counter directly, which made support depend on telemetry --
+// the one upward edge in the tree, now rejected by the layer-deps
+// analyzer.  The breadcrumb survives as an observer telemetry.cpp
+// installs via set_dispatch_observer().
+std::atomic<DispatchObserver> g_observer{nullptr};
+
 const KernelTable* resolve(Mode mode) noexcept {
     if (mode != Mode::kScalar && cpu_supports_avx2_fma()) {
         const KernelTable* avx2 = detail::avx2_table();
@@ -214,11 +219,12 @@ const KernelTable* resolve(Mode mode) noexcept {
 void publish(const KernelTable* table) noexcept {
     const KernelTable* previous = g_active.exchange(table);
     if (previous == table) return;
-    // The one-time dispatch breadcrumb: perf artifacts read this counter
-    // to attribute a run to the table that served it (0 scalar, 1 avx2).
-    telemetry::counter_max(
-        telemetry::labels::kernel_dispatch(),
-        std::strcmp(table->name, "scalar") == 0 ? 0 : 1);
+    // The one-time dispatch breadcrumb: perf artifacts read the observer-
+    // fed counter to attribute a run to the table that served it.
+    if (DispatchObserver observer =
+            g_observer.load(std::memory_order_acquire)) {
+        observer(table->name);
+    }
 }
 
 const KernelTable* resolve_from_env() noexcept {
@@ -246,6 +252,16 @@ bool cpu_supports_avx2_fma() noexcept {
 #else
     return false;
 #endif
+}
+
+void set_dispatch_observer(DispatchObserver observer) noexcept {
+    g_observer.store(observer, std::memory_order_release);
+    if (observer != nullptr) {
+        // Replay: dispatch may have resolved before the observer's TU
+        // finished static init; both orders must yield the breadcrumb.
+        const KernelTable* table = g_active.load(std::memory_order_acquire);
+        if (table != nullptr) observer(table->name);
+    }
 }
 
 void set_mode(Mode mode) noexcept { publish(resolve(mode)); }

@@ -100,6 +100,18 @@ bool set_mode_name(const char* name) noexcept;
 /// Name of the active table ("scalar" / "avx2") for headers and logs.
 [[nodiscard]] const char* active_name() noexcept;
 
+/// Notified with the table name whenever dispatch publishes a different
+/// kernel table.  Must be noexcept: it can fire from whichever thread
+/// first touches the dispatch state.
+using DispatchObserver = void (*)(const char* table_name) noexcept;
+
+/// Installs the dispatch observer (nullptr clears it) and, when a table
+/// is already published, replays the current name so a late registration
+/// still sees it.  Upward-dependency firewall: support must not include
+/// telemetry (layer-deps), so the telemetry breadcrumb for kernel
+/// dispatch registers itself through this hook instead (telemetry.cpp).
+void set_dispatch_observer(DispatchObserver observer) noexcept;
+
 namespace detail {
 /// The AVX2+FMA table, or nullptr when this binary was built without the
 /// -mavx2 -mfma TU (non-x86 targets, compilers without the flags).  Lives

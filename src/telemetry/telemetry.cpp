@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "support/simd.hpp"
 #include "support/sync.hpp"
 
 namespace fairbfl::telemetry {
@@ -409,6 +410,23 @@ void counter_max(Label label, std::uint64_t value) noexcept {
                            tls.open_span, tls.depth, buffer.slot()));
 }
 
+namespace {
+
+// Kernel-dispatch breadcrumb (moved here from simd.cpp in PR 9: support
+// may not depend on telemetry, so the dependency now points this way).
+// publish() replays the current table at registration, so the counter is
+// emitted whichever TU wins static init.
+[[maybe_unused]] const bool g_kernel_dispatch_observer = [] {
+    support::simd::set_dispatch_observer(
+        [](const char* table_name) noexcept {
+            counter_max(labels::kernel_dispatch(),
+                        std::strcmp(table_name, "scalar") == 0 ? 0 : 1);
+        });
+    return true;
+}();
+
+}  // namespace
+
 // --- Statistics ------------------------------------------------------------
 
 double RoundStats::seconds_of(std::string_view label) const {
@@ -448,8 +466,11 @@ RoundStats round_stats(std::span<const Record> records,
             case RecordKind::kSpanEnd: {
                 const auto it = begins.find(record.value);
                 if (it == begins.end()) break;  // begin predates this slice
-                label.span_seconds +=
+                // Named duration so the accumulation is not an
+                // FMA-eligible expression (fp-determinism).
+                const double span_s =
                     static_cast<double>(record.time_ns - it->second) * 1e-9;
+                label.span_seconds += span_s;
                 ++label.spans;
                 begins.erase(it);
                 break;

@@ -1,0 +1,15 @@
+// BAD: a ThreadPool task body that sleeps.  A parked worker slot stalls
+// every sibling chunk behind it; blocking belongs to the caller or the
+// pool's own scheduler.
+#include <chrono>
+#include <thread>
+
+namespace demo::fl {
+
+void run_round(support::ThreadPool& pool) {
+    pool.run([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+}
+
+}  // namespace demo::fl

@@ -1,0 +1,11 @@
+// CLEAN: the task body only computes, including through a same-file
+// helper the walk descends into.
+namespace demo::fl {
+
+int square(int v) { return v * v; }
+
+void run_round(support::ThreadPool& pool, int* out) {
+    pool.run([&] { *out = square(3); });
+}
+
+}  // namespace demo::fl

@@ -1,0 +1,8 @@
+// BAD (flag check): the "noflag" name makes fixture_program() synthesize
+// this TU's compile command WITHOUT -ffp-contract=off, which the rule
+// must reject even though the code itself is harmless.
+namespace demo::ml {
+
+double scale(double x) { return x * 2.0; }
+
+}  // namespace demo::ml

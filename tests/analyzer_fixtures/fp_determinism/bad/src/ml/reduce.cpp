@@ -1,0 +1,14 @@
+// BAD: an FMA-eligible floating-point multiply-accumulate loop outside
+// src/support/simd*/vecmath* -- with contraction on, a compiler may fuse
+// `acc += a[i] * b[i]` into one FMA and shift the pinned bits.
+namespace demo::ml {
+
+double reduce(const double* a, const double* b, unsigned long n) {
+    double acc = 0.0;
+    for (unsigned long i = 0; i < n; ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+}  // namespace demo::ml

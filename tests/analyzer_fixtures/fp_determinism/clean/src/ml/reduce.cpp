@@ -1,0 +1,26 @@
+// CLEAN: the same reduction with the product named first -- the
+// accumulation is no longer a single contractible expression, and an
+// integer MAC stays out of scope entirely.
+namespace demo::ml {
+
+double reduce(const double* a, const double* b, unsigned long n) {
+    double acc = 0.0;
+    for (unsigned long i = 0; i < n; ++i) {
+        const double prod = a[i] * b[i];
+        acc += prod;
+    }
+    return acc;
+}
+
+// Integer accumulator under a distinct name: fp-ident tracking is
+// file-granular, so reusing `acc` here would (correctly) inherit the
+// double taint from reduce() above.
+long reduce_counts(const long* w, const long* h, unsigned long n) {
+    long total = 0;
+    for (unsigned long i = 0; i < n; ++i) {
+        total += w[i] * h[i];
+    }
+    return total;
+}
+
+}  // namespace demo::ml

@@ -1,0 +1,13 @@
+// BAD: support is the bottom layer and may not include telemetry --
+// this upward edge is exactly the simd.cpp dependency the layer map
+// rejects.
+#include "telemetry/counters.hpp"
+
+namespace demo::support {
+
+void fill(long* dst, long n) {
+    for (long i = 0; i < n; ++i) dst[i] = i;
+    demo::telemetry::counter_bump(n);
+}
+
+}  // namespace demo::support

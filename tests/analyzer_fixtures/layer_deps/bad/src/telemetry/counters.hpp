@@ -1,0 +1,5 @@
+#pragma once
+
+namespace demo::telemetry {
+void counter_bump(long delta);
+}  // namespace demo::telemetry

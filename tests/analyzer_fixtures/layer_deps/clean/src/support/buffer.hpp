@@ -1,0 +1,5 @@
+#pragma once
+
+namespace demo::support {
+void fill(long* dst, long n);
+}  // namespace demo::support

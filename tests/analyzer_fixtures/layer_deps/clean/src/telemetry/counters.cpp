@@ -1,0 +1,12 @@
+// CLEAN: telemetry depending on support points downward, which the
+// layer map sanctions.
+#include "support/buffer.hpp"
+
+namespace demo::telemetry {
+
+void counter_bump(long delta) {
+    long scratch[4];
+    demo::support::fill(scratch, delta < 4 ? delta : 4);
+}
+
+}  // namespace demo::telemetry

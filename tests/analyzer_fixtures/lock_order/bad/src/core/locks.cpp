@@ -1,0 +1,15 @@
+// BAD twice over: mu_undocumented has no lock-order hierarchy entry at
+// all, and both() acquires mu_b while holding mu_a -- an edge the
+// fixture's documented hierarchy (both leaves) does not sanction.
+namespace demo::core {
+
+support::Mutex mu_a;
+support::Mutex mu_b;
+support::Mutex mu_undocumented;
+
+void both() {
+    support::MutexLock hold_a(mu_a);
+    support::MutexLock hold_b(mu_b);
+}
+
+}  // namespace demo::core

@@ -1,0 +1,14 @@
+// CLEAN: the identical nested acquire, but the fixture hierarchy
+// documents mu_a -> mu_b as a sanctioned edge and every lock has an
+// entry.
+namespace demo::core {
+
+support::Mutex mu_a;
+support::Mutex mu_b;
+
+void both() {
+    support::MutexLock hold_a(mu_a);
+    support::MutexLock hold_b(mu_b);
+}
+
+}  // namespace demo::core

@@ -1,0 +1,11 @@
+#include <cstdlib>
+
+namespace demo::support {
+
+char* format_label(long value) {
+    char* out = static_cast<char*>(malloc(32));
+    out[0] = value != 0 ? '1' : '0';
+    return out;
+}
+
+}  // namespace demo::support

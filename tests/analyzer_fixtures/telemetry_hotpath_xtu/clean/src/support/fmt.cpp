@@ -1,0 +1,7 @@
+namespace demo::support {
+
+long fold_label(long value) {
+    return (value >> 8) ^ (value & 0xFF);
+}
+
+}  // namespace demo::support

@@ -1,0 +1,9 @@
+// CLEAN: the same cross-TU shape, but the callee stays alloc-free,
+// lock-free, and clock-free.
+namespace demo::telemetry {
+
+void counter_add(long value) {
+    fold_label(value);
+}
+
+}  // namespace demo::telemetry

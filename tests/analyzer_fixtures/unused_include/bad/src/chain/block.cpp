@@ -1,0 +1,8 @@
+// BAD: includes util.hpp but never names anything it provides.
+#include "chain/util.hpp"
+
+namespace demo::chain {
+
+int block_size(int txs) { return txs * 64; }
+
+}  // namespace demo::chain

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace demo::chain {
+int chain_checksum(int seed);
+}  // namespace demo::chain

@@ -11,6 +11,7 @@
 
 #include <cmath>
 
+#include "fl/aggregation.hpp"
 #include "fl/fedavg.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
