@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "core/system.hpp"
 #include "fl/sharding.hpp"
 #include "support/cli.hpp"
+#include "support/fault_plan.hpp"
 #include "support/simd.hpp"
 
 using namespace fairbfl;
@@ -68,6 +70,10 @@ struct StageTotals {
     double cluster_shards = 0.0;
     double cluster_root = 0.0;
     std::size_t index_peak_bytes = 0;
+    /// Virtual seconds waiting for quorum (async round engine); simulated
+    /// time, so never part of total().
+    double wait_quorum = 0.0;
+    std::size_t late_updates = 0;
 
     [[nodiscard]] double total() const noexcept {
         return local + cluster + aggregate + mine;
@@ -95,13 +101,16 @@ void append_json(std::string& out, const SweepPoint& p) {
         "     \"seconds\": {\"local\": %.6f, \"cluster\": %.6f, "
         "\"index_build\": %.6f, "
         "\"shard_cluster\": %.6f, \"root_cluster\": %.6f, "
-        "\"aggregate\": %.6f, \"mine\": %.6f, \"total\": %.6f},\n"
+        "\"aggregate\": %.6f, \"mine\": %.6f, \"wait_quorum\": %.6f, "
+        "\"total\": %.6f},\n"
         "     \"index_peak_bytes\": %zu,\n"
+        "     \"late_updates\": %zu,\n"
         "     \"run_seconds\": %.6f, \"final_accuracy\": %.4f}",
         p.clients, p.rounds, p.shards_effective, p.total.local, p.total.cluster,
         p.total.index_build, p.total.cluster_shards, p.total.cluster_root,
-        p.total.aggregate, p.total.mine, p.total.total(),
-        p.total.index_peak_bytes, p.run_seconds, p.final_accuracy);
+        p.total.aggregate, p.total.mine, p.total.wait_quorum,
+        p.total.total(), p.total.index_peak_bytes, p.total.late_updates,
+        p.run_seconds, p.final_accuracy);
     out += buf;
 }
 
@@ -124,6 +133,12 @@ int main(int argc, char** argv) {
             "                         (1 = flat single-pass Algorithm 2)\n"
             "  --kernels=scalar       vector-kernel table: scalar|simd|auto\n"
             "                         (scalar = the bit-pinned default)\n"
+            "  --quorum=1.0           aggregate once this fraction arrived\n"
+            "  --deadline-ms=0        virtual round deadline (0 = none)\n"
+            "  --late=next_round      late-gradient policy:\n"
+            "                         next_round|retroactive\n"
+            "  --churn=0.0            per-round client dropout rate\n"
+            "                         (fault-injection churn sweep)\n"
             "  --seed=42 --miners=2 --out=FILE");
         return 0;
     }
@@ -139,8 +154,24 @@ int main(int argc, char** argv) {
     const std::string index = args.get_string("index", "exact");
     const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
     const std::string kernels = args.get_string("kernels", "scalar");
+    const double quorum = args.get_double("quorum", 1.0);
+    const double deadline_ms = args.get_double("deadline-ms", 0.0);
+    const std::string late = args.get_string("late", "next_round");
+    const double churn = args.get_double("churn", 0.0);
     const std::string out_path = args.get_string("out", "");
     if (!args.finish("bench_perf_round") || sweep.empty()) return 1;
+    const auto late_policy = core::parse_late_policy(late);
+    if (!late_policy) {
+        std::fprintf(stderr, "bench_perf_round: bad --late '%s'\n",
+                     late.c_str());
+        return 1;
+    }
+    if (quorum <= 0.0 || deadline_ms < 0.0 || churn < 0.0 || churn >= 1.0) {
+        std::fprintf(stderr,
+                     "bench_perf_round: need --quorum > 0, "
+                     "--deadline-ms >= 0, 0 <= --churn < 1\n");
+        return 1;
+    }
     if (!support::simd::set_mode_name(kernels.c_str())) {
         std::fprintf(stderr, "bench_perf_round: bad --kernels '%s'\n",
                      kernels.c_str());
@@ -178,6 +209,19 @@ int main(int argc, char** argv) {
         spec.fair.incentive.index = index;
         spec.fair.incentive.sharding.shards = shards;
         spec.fair.miners = miners;
+        spec.fair.round.quorum_fraction = quorum;
+        spec.fair.round.deadline_ns =
+            static_cast<std::uint64_t>(deadline_ms * 1e6);
+        spec.fair.round.late_policy = *late_policy;
+        if (churn > 0.0) {
+            // Churn sweep: dropout-only fault plan, seeded from the run
+            // seed so a point is reproducible in isolation.
+            support::FaultSpec fault_spec;
+            fault_spec.churn_rate = churn;
+            spec.fair.fault_plan = std::make_shared<support::FaultPlan>(
+                support::FaultPlan::sampled(fault_spec, seed, rounds,
+                                            clients));
+        }
         spec.fl.batched_training = spec.fair.fl.batched_training;
         spec.fedprox.base.batched_training = spec.fair.fl.batched_training;
         spec.vanilla.fl.batched_training = spec.fair.fl.batched_training;
@@ -205,6 +249,8 @@ int main(int argc, char** argv) {
             point.total.mine += p.wall.mine;
             point.total.index_peak_bytes = std::max(
                 point.total.index_peak_bytes, p.wall.index_peak_bytes);
+            point.total.wait_quorum += p.wall.wait_quorum;
+            point.total.late_updates += p.wall.late_updates;
         }
         points.push_back(point);
         std::fprintf(stderr,
@@ -231,12 +277,15 @@ int main(int argc, char** argv) {
     json += "  \"kernels\": \"" + kernels + "\",\n";
     json += "  \"kernels_active\": \"" +
             std::string(support::simd::active_name()) + "\",\n";
-    char header[192];
+    json += "  \"late\": \"" + late + "\",\n";
+    char header[320];
     std::snprintf(header, sizeof header,
                   "  \"shards\": %zu,\n"
+                  "  \"quorum\": %.4f,\n  \"deadline_ms\": %.4f,\n"
+                  "  \"churn\": %.4f,\n"
                   "  \"rounds\": %zu,\n  \"feature_dim\": %zu,\n"
                   "  \"miners\": %zu,\n  \"seed\": %llu,\n  \"sweep\": [\n",
-                  shards, rounds, dim, miners,
+                  shards, quorum, deadline_ms, churn, rounds, dim, miners,
                   static_cast<unsigned long long>(seed));
     json += header;
     for (std::size_t i = 0; i < points.size(); ++i) {

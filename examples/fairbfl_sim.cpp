@@ -80,6 +80,11 @@ int main(int argc, char** argv) {
             "  --aggregator=NAME    combine rule (simple|sample_weighted|\n"
             "                       fair|trimmed_mean|median)\n"
             "  --list               print every registered backend and exit\n"
+            "  --quorum=F           aggregate once this fraction of the\n"
+            "                       round's uploads arrived (1.0 = wait\n"
+            "                       for all, the lockstep default)\n"
+            "  --deadline-ms=F      virtual-time round deadline (0 = none)\n"
+            "  --late=next_round|retroactive   late-gradient policy\n"
             "  --attack=none|signflip|gaussian|scale --attackers=N\n"
             "  --encrypt --keybits=N   sign (and encrypt) uploads\n"
             "  --prox-mu=F --drop=F    (fedprox)\n"
@@ -144,6 +149,9 @@ int main(int argc, char** argv) {
     attack.max_attackers =
         static_cast<std::size_t>(args.get_int("attackers", 3));
 
+    const double quorum = args.get_double("quorum", 1.0);
+    const double deadline_ms = args.get_double("deadline-ms", 0.0);
+    const std::string late = args.get_string("late", "next_round");
     const bool discard = args.get_flag("discard");
     const std::string clustering = args.get_string("clustering", "dbscan");
     const std::string index = args.get_string("index", "auto");
@@ -171,6 +179,19 @@ int main(int argc, char** argv) {
                      kernels.c_str());
         return 1;
     }
+    const auto late_policy = core::parse_late_policy(late);
+    if (!late_policy) {
+        std::fprintf(stderr,
+                     "--late: unknown policy '%s' (known: next_round "
+                     "retroactive)\n",
+                     late.c_str());
+        return 1;
+    }
+    if (quorum <= 0.0 || deadline_ms < 0.0) {
+        std::fprintf(stderr,
+                     "need --quorum > 0 and --deadline-ms >= 0\n");
+        return 1;
+    }
     if (trace_format != "binary" && trace_format != "text" &&
         trace_format != "json") {
         std::fprintf(stderr,
@@ -196,6 +217,10 @@ int main(int argc, char** argv) {
     spec.fair.attack = attack;
     spec.fair.key_bits = key_bits;
     spec.fair.encrypt_gradients = encrypt;
+    spec.fair.round.quorum_fraction = quorum;
+    spec.fair.round.deadline_ns =
+        static_cast<std::uint64_t>(deadline_ms * 1e6);
+    spec.fair.round.late_policy = *late_policy;
     if (discard)
         spec.fair.incentive.strategy =
             incentive::LowContributionStrategy::kDiscard;

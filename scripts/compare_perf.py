@@ -52,9 +52,11 @@ KNOWN_SCHEMA_VERSION = 2
 # index_build is a sub-component of cluster (new in the GradientIndex PR);
 # artifacts that predate it simply skip that row.
 WATCHED_STAGES = ("local", "cluster", "index_build")
-# Display-only stages (new in the shard-tree PR): per-level timings are
-# informational -- flat runs have zeros, so they must never gate.
-EXTRA_STAGES = ("shard_cluster", "root_cluster")
+# Display-only stages: per-level timings (shard-tree PR) and the round
+# engine's virtual quorum wait (async-round PR) are informational -- flat
+# or lockstep runs have zeros there, and wait_quorum is *simulated* time,
+# so they must never gate.
+EXTRA_STAGES = ("shard_cluster", "root_cluster", "wait_quorum")
 # Every stage key this script understands; anything else in `seconds` is
 # from another schema generation and only warned about.
 KNOWN_STAGES = set(WATCHED_STAGES + EXTRA_STAGES + ("aggregate", "mine",
@@ -96,14 +98,18 @@ def load_artifact(path, label):
              for point in data.get("sweep", []) if "clients" in point}
     peak = {point["clients"]: point.get("index_peak_bytes")
             for point in data.get("sweep", []) if "clients" in point}
+    late = {point["clients"]: point.get("late_updates")
+            for point in data.get("sweep", []) if "clients" in point}
     config = {key: data.get(key)
-              for key in ("index", "engine", "system", "shards")}
-    return sweep, peak, config
+              for key in ("index", "engine", "system", "shards",
+                          "quorum", "deadline_ms", "late", "churn")}
+    return sweep, peak, late, config
 
 
 def describe(label, config):
     parts = [f"{key}={config[key]}" for key in
-             ("system", "engine", "index", "shards")
+             ("system", "engine", "index", "shards",
+              "quorum", "deadline_ms", "late", "churn")
              if config.get(key) is not None]
     print(f"- {label}: {', '.join(parts) if parts else 'unknown config'}")
 
@@ -121,21 +127,21 @@ def main():
     args = parser.parse_args()
 
     try:
-        previous, prev_peak, prev_config = load_artifact(args.previous,
-                                                         "previous")
+        previous, prev_peak, prev_late, prev_config = load_artifact(
+            args.previous, "previous")
     except (OSError, ValueError, KeyError) as error:
         print(f"No previous perf artifact ({error}); "
               f"falling back to the committed seed baseline.")
         try:
-            previous, prev_peak, prev_config = load_artifact(
+            previous, prev_peak, prev_late, prev_config = load_artifact(
                 args.seed_baseline, "seed baseline")
         except (OSError, ValueError, KeyError) as seed_error:
             print(f"No seed baseline to compare against either "
                   f"({seed_error}).")
             return 0
     try:
-        current, curr_peak, curr_config = load_artifact(args.current,
-                                                        "current")
+        current, curr_peak, curr_late, curr_config = load_artifact(
+            args.current, "current")
     except (OSError, ValueError, KeyError) as error:
         print(f"::warning::cannot read current perf artifact: {error}")
         return 1
@@ -176,6 +182,16 @@ def main():
         ratio = prev_b / curr_b if curr_b else float("inf")
         print(f"index_peak_bytes at {largest} clients: {prev_b} -> {curr_b} "
               f"({ratio:.1f}x previous)")
+        print()
+
+    # Late-update counts (async round engine), display-only: lockstep runs
+    # record zero, and a straggler-heavy config legitimately grows this.
+    if (isinstance(curr_late.get(largest), int)
+            and (curr_late.get(largest)
+                 or isinstance(prev_late.get(largest), int)
+                 and prev_late.get(largest))):
+        print(f"late_updates at {largest} clients: "
+              f"{prev_late.get(largest, 'n/a')} -> {curr_late[largest]}")
         print()
 
     for clients, stage, change in regressions:

@@ -31,7 +31,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import compare_perf  # noqa: E402
 
 
-def artifact(points, schema_version=2, extra_stage_keys=(), **config):
+def artifact(points, schema_version=2, extra_stage_keys=(),
+             late_updates=None, **config):
     """A bench_perf_round artifact dict: points is {clients: {stage: s}}."""
     data = {"system": "fairbfl", "engine": "batched", "index": "shard",
             **config}
@@ -42,7 +43,10 @@ def artifact(points, schema_version=2, extra_stage_keys=(), **config):
         seconds = dict(seconds)
         for key in extra_stage_keys:
             seconds[key] = 0.001
-        data["sweep"].append({"clients": clients, "seconds": seconds})
+        point = {"clients": clients, "seconds": seconds}
+        if late_updates is not None:
+            point["late_updates"] = late_updates
+        data["sweep"].append(point)
     return data
 
 
@@ -200,6 +204,44 @@ class GateMathTests(unittest.TestCase):
                          argv=["--fail-on-regression"])
         self.assertEqual(run.exit_code, 0)
         self.assertIn("No common sweep points", run.stdout)
+
+    def test_wait_quorum_regression_never_gates(self):
+        # seconds.wait_quorum is *virtual* time from the async round
+        # engine: it is displayed, tolerated without schema warnings, and
+        # never gates no matter how much it grows.
+        prev = {64: {"local": 1.0, "cluster": 1.0, "index_build": 1.0,
+                     "wait_quorum": 0.1}}
+        curr = {64: {"local": 1.0, "cluster": 1.0, "index_build": 1.0,
+                     "wait_quorum": 50.0}}
+        run = CompareRun(artifact(prev), artifact(curr),
+                         argv=["--fail-on-regression"])
+        self.assertEqual(run.exit_code, 0)
+        self.assertNotIn("::warning::", run.stdout)
+        self.assertIn("| 64 | wait_quorum |", run.stdout)
+
+    def test_round_engine_headers_are_described(self):
+        run = CompareRun(
+            artifact(BASE, quorum=0.75, deadline_ms=40.0,
+                     late="retroactive"),
+            artifact(scaled(1.0), quorum=0.75, deadline_ms=40.0,
+                     late="retroactive"))
+        self.assertEqual(run.exit_code, 0)
+        self.assertIn("quorum=0.75", run.stdout)
+        self.assertIn("deadline_ms=40.0", run.stdout)
+        self.assertIn("late=retroactive", run.stdout)
+
+    def test_late_updates_displayed_and_tolerated(self):
+        run = CompareRun(artifact(BASE, late_updates=2),
+                         artifact(scaled(1.0), late_updates=7),
+                         argv=["--fail-on-regression"])
+        self.assertEqual(run.exit_code, 0)
+        self.assertNotIn("::warning::", run.stdout)
+        self.assertIn("late_updates at 64 clients: 2 -> 7", run.stdout)
+
+    def test_artifact_without_late_updates_stays_quiet(self):
+        run = CompareRun(artifact(BASE), artifact(scaled(1.0)))
+        self.assertEqual(run.exit_code, 0)
+        self.assertNotIn("late_updates at", run.stdout)
 
     def test_zero_previous_stage_skipped_not_divided(self):
         prev = {64: {"local": 0.0, "cluster": 1.0, "index_build": 1.0}}

@@ -29,30 +29,46 @@ double DelayModel::hetero_factor(std::size_t client_id,
     return std::exp(params_.compute_hetero_sigma * rng.normal());
 }
 
+double DelayModel::t_local_client(std::size_t client_id,
+                                  std::size_t batch_steps,
+                                  std::uint64_t seed) const {
+    return params_.seconds_per_batch * static_cast<double>(batch_steps) *
+           hetero_factor(client_id, seed);
+}
+
 double DelayModel::t_local(std::span<const std::size_t> client_ids,
                            std::span<const std::size_t> batch_steps,
                            std::uint64_t seed) const {
     double slowest = 0.0;
     for (std::size_t i = 0; i < client_ids.size(); ++i) {
-        const double t = params_.seconds_per_batch *
-                         static_cast<double>(batch_steps[i]) *
-                         hetero_factor(client_ids[i], seed);
-        slowest = std::max(slowest, t);
+        slowest = std::max(slowest,
+                           t_local_client(client_ids[i], batch_steps[i], seed));
     }
     telemetry::counter_add(telemetry::labels::delay_local_ns(),
                            sim_ns(slowest));
     return slowest;
 }
 
-double DelayModel::t_up(std::size_t clients, std::size_t payload_bytes,
-                        support::Rng& rng) const {
+std::vector<double> DelayModel::t_up_each(std::size_t clients,
+                                          std::size_t payload_bytes,
+                                          support::Rng& rng) const {
+    std::vector<double> seconds;
+    seconds.reserve(clients);
     double slowest = 0.0;
     for (std::size_t i = 0; i < clients; ++i) {
-        slowest =
-            std::max(slowest, network_.client_upload_seconds(payload_bytes, rng));
+        seconds.push_back(network_.client_upload_seconds(payload_bytes, rng));
+        slowest = std::max(slowest, seconds.back());
     }
     telemetry::counter_add(telemetry::labels::delay_up_ns(),
                            sim_ns(slowest));
+    return seconds;
+}
+
+double DelayModel::t_up(std::size_t clients, std::size_t payload_bytes,
+                        support::Rng& rng) const {
+    double slowest = 0.0;
+    for (const double draw : t_up_each(clients, payload_bytes, rng))
+        slowest = std::max(slowest, draw);
     return slowest;
 }
 

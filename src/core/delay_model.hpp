@@ -9,6 +9,8 @@
 // round) lands in the 4-16 s/round range of Figures 4a/6/7a.
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "chain/mining_race.hpp"
 #include "chain/network.hpp"
@@ -82,10 +84,26 @@ public:
                                  std::span<const std::size_t> batch_steps,
                                  std::uint64_t seed) const;
 
+    /// One client's slice of T_local -- the per-client term t_local()
+    /// maxes over.  Pure (no telemetry): the round engine samples it per
+    /// client to schedule arrivals on the virtual clock, while t_local()
+    /// still reports (and counts) the round's max.
+    [[nodiscard]] double t_local_client(std::size_t client_id,
+                                        std::size_t batch_steps,
+                                        std::uint64_t seed) const;
+
     /// T_up: max over clients of the upload of `payload_bytes` each
     /// (uploads are parallel; round waits for the slowest).
     [[nodiscard]] double t_up(std::size_t clients, std::size_t payload_bytes,
                               support::Rng& rng) const;
+
+    /// Per-client upload seconds: the individual draws t_up() maxes over,
+    /// in the same stream order (one draw per client).  Emits the same
+    /// delay.up_ns counter (of the max) that t_up() would -- call one or
+    /// the other per round, not both.
+    [[nodiscard]] std::vector<double> t_up_each(std::size_t clients,
+                                                std::size_t payload_bytes,
+                                                support::Rng& rng) const;
 
     /// T_ex: all-to-all gradient-set exchange among m miners.
     [[nodiscard]] double t_ex(std::size_t miners, std::size_t set_bytes,

@@ -10,6 +10,15 @@
 
 namespace fairbfl::core {
 
+namespace {
+
+/// Seconds -> virtual-clock ns (the round engine's time unit).
+VirtualTime sim_ns(double seconds) noexcept {
+    return static_cast<VirtualTime>(seconds * 1e9);
+}
+
+}  // namespace
+
 FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
                  ml::DatasetView test_set, FairBflConfig config)
     : model_(&model),
@@ -17,7 +26,7 @@ FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
       test_set_(std::move(test_set)),
       config_(config),
       trainer_(fl::LocalTrainer::Options{
-          .batched = config.fl.batched_training}),
+          .batched = config.fl.batched_training, .pool = config.pool}),
       aggregator_(config.aggregator ? config.aggregator
                                     : make_aggregator("simple")),
       consensus_(make_consensus(
@@ -32,6 +41,7 @@ FairBfl::FairBfl(const ml::Model& model, std::vector<fl::Client> clients,
                             : make_reward_policy(config.incentive.strategy)),
       keys_(config.fl.seed, config.key_bits),
       chain_(config.chain_id, config.key_bits != 0 ? &keys_ : nullptr),
+      engine_(config.round),
       weights_(model.param_count(), 0.0F) {
     // The tightly coupled design models mining time stochastically; the
     // chain stores protocol-valid blocks without re-running the hash race.
@@ -85,6 +95,10 @@ void FairBfl::round_body(std::uint64_t round, BflRoundRecord& record) {
     auto up_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x755, round);
     auto ex_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x7E8, round);
     auto bl_rng = support::Rng::fork(config_.fl.seed, /*stream=*/0x7B1, round);
+    // Empty-solve intervals for the engaged async-mining race; a separate
+    // stream keeps the race from perturbing the pinned t_bl draws.
+    auto race_rng =
+        support::Rng::fork(config_.fl.seed, /*stream=*/0xECE, round);
 
     // --- Client selection (Algorithm 1 line 3), minus last round's bench.
     auto selected = fl::sample_clients(clients_.size(), config_.fl.client_ratio,
@@ -93,86 +107,179 @@ void FairBfl::round_body(std::uint64_t round, BflRoundRecord& record) {
     benched_clients_.clear();
     record.fl.selected = selected.size();
 
-    // --- Procedure I: local learning (parallel across clients).
-    std::vector<fl::GradientUpdate> updates;
-    {
-        const telemetry::Span span(telemetry::labels::round_local());
-        updates = trainer_.run(clients_, selected, weights_, config_.fl.sgd,
-                               round, config_.fl.seed);
-    }
+    const DelayModel delays(config_.delay);
     std::vector<std::size_t> steps;
     steps.reserve(selected.size());
     for (const std::size_t id : selected) steps.push_back(batch_steps_of(id));
-    record.delay.t_local = DelayModel(config_.delay)
-                               .t_local(selected, steps, config_.fl.seed);
+    // Per-client compute times, needed up front: each client's arrival
+    // event fires at its *own* t_local + t_up slice, not the round max.
+    std::vector<double> local_seconds;
+    local_seconds.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        local_seconds.push_back(
+            delays.t_local_client(selected[i], steps[i], config_.fl.seed));
 
-    // --- Adversary: forge some updates before they leave the clients.
-    const AttackReport attack = apply_attack(updates, weights_, config_.attack,
-                                             round, config_.fl.seed);
-    record.attacker_clients = attack.attacker_clients;
+    // Retroactive settlement re-clusters against w_r, which the on-time
+    // pass overwrites below; keep a copy only when it can be needed.
+    std::vector<float> round_start_weights;
+    if (config_.round.engaged() &&
+        config_.round.late_policy == LatePolicy::kRetroactive)
+        round_start_weights = weights_;
 
-    const DelayModel delays(config_.delay);
-    const std::size_t payload =
-        updates.empty() ? 0 : updates[0].payload_bytes();
+    // --- Procedures I + II as engine phases: local learning runs eagerly
+    // in parallel (the physics), then the driving thread forges / signs /
+    // prices the uploads and turns each deliverable update into an
+    // arrival event on the virtual clock.
+    std::vector<fl::GradientUpdate> updates(selected.size());
+    trainer_.ensure_capacity(clients_.size());
+    const auto work = [&](std::size_t slot) {
+        const std::size_t id = selected[slot];
+        const telemetry::ContextScope scope(
+            telemetry::current_context().with_item(
+                static_cast<std::uint32_t>(id)));
+        updates[slot] = trainer_.train_one(clients_, id, weights_,
+                                           config_.fl.sgd, round,
+                                           config_.fl.seed);
+    };
 
-    // --- Procedure II: sign and upload to a uniformly random miner,
-    // optionally under hybrid encryption to that miner.
     const bool encrypting =
         config_.encrypt_gradients && keys_.crypto_enabled();
-    std::size_t wire_payload = payload;
+    std::size_t payload = 0;
     std::vector<chain::Transaction> gradient_txs;
-    gradient_txs.reserve(updates.size());
-    std::vector<fl::GradientSet> miner_sets(std::max<std::size_t>(
-        config_.miners, 1));
-    for (const auto& update : updates) {
-        chain::Transaction tx = chain::make_gradient_tx(
-            chain::TxKind::kLocalGradient, update.client, round,
-            update.weights);
-        chain::sign_transaction(tx, keys_);
-        // Miner association: uniform random (paper §4.2).
-        const auto miner = static_cast<std::size_t>(assoc_rng.uniform_int(
-            0, static_cast<std::int64_t>(miner_sets.size()) - 1));
-        if (!chain::verify_transaction(tx, keys_)) {
-            FAIRBFL_LOG_WARN("round %llu: dropping update with bad signature "
-                             "from client %u",
-                             static_cast<unsigned long long>(round),
-                             update.client);
-            continue;
-        }
-        if (encrypting) {
-            // Encrypt the signed transaction to the associated miner; the
-            // miner decrypts before treating it as a gradient.  An
-            // undecryptable or tampered upload is dropped, like a bad
-            // signature.
-            const auto miner_node =
-                static_cast<crypto::NodeId>(clients_.size() + miner);
-            auto enc_rng = support::Rng::fork(
-                config_.fl.seed, 0xE2C00000ULL + update.client, round);
-            const crypto::HybridCiphertext ciphertext = crypto::hybrid_encrypt(
-                keys_.public_key(miner_node), tx.encode(), enc_rng);
-            wire_payload = std::max(wire_payload, ciphertext.total_bytes());
-            try {
-                const auto decrypted = crypto::hybrid_decrypt(
-                    keys_.private_key(miner_node), ciphertext);
-                chain::ByteReader reader(decrypted);
-                const chain::Transaction received =
-                    chain::Transaction::decode(reader);
-                if (!(received == tx)) continue;
-            } catch (const std::exception&) {
+    const auto prepare = [&]() {
+        record.delay.t_local =
+            delays.t_local(selected, steps, config_.fl.seed);
+
+        // --- Adversary: forge some updates before they leave the clients.
+        const AttackReport attack = apply_attack(
+            updates, weights_, config_.attack, round, config_.fl.seed);
+        record.attacker_clients = attack.attacker_clients;
+
+        payload = updates.empty() ? 0 : updates[0].payload_bytes();
+        std::size_t wire_payload = payload;
+
+        // --- Procedure II: sign and upload to a uniformly random miner,
+        // optionally under hybrid encryption to that miner.  Draw order
+        // (association before the signature check, one upload draw per
+        // update after the loop) matches the lockstep series exactly.
+        gradient_txs.reserve(updates.size());
+        const std::size_t miner_count =
+            std::max<std::size_t>(config_.miners, 1);
+        std::vector<bool> deliverable(updates.size(), false);
+        for (std::size_t i = 0; i < updates.size(); ++i) {
+            const auto& update = updates[i];
+            chain::Transaction tx = chain::make_gradient_tx(
+                chain::TxKind::kLocalGradient, update.client, round,
+                update.weights);
+            chain::sign_transaction(tx, keys_);
+            // Miner association: uniform random (paper §4.2).
+            const auto miner = static_cast<std::size_t>(assoc_rng.uniform_int(
+                0, static_cast<std::int64_t>(miner_count) - 1));
+            if (!chain::verify_transaction(tx, keys_)) {
                 FAIRBFL_LOG_WARN(
-                    "round %llu: dropping undecryptable upload from %u",
+                    "round %llu: dropping update with bad signature "
+                    "from client %u",
                     static_cast<unsigned long long>(round), update.client);
                 continue;
             }
+            if (encrypting) {
+                // Encrypt the signed transaction to the associated miner;
+                // the miner decrypts before treating it as a gradient.  An
+                // undecryptable or tampered upload is dropped, like a bad
+                // signature.
+                const auto miner_node =
+                    static_cast<crypto::NodeId>(clients_.size() + miner);
+                auto enc_rng = support::Rng::fork(
+                    config_.fl.seed, 0xE2C00000ULL + update.client, round);
+                const crypto::HybridCiphertext ciphertext =
+                    crypto::hybrid_encrypt(keys_.public_key(miner_node),
+                                           tx.encode(), enc_rng);
+                wire_payload =
+                    std::max(wire_payload, ciphertext.total_bytes());
+                try {
+                    const auto decrypted = crypto::hybrid_decrypt(
+                        keys_.private_key(miner_node), ciphertext);
+                    chain::ByteReader reader(decrypted);
+                    const chain::Transaction received =
+                        chain::Transaction::decode(reader);
+                    if (!(received == tx)) continue;
+                } catch (const std::exception&) {
+                    FAIRBFL_LOG_WARN(
+                        "round %llu: dropping undecryptable upload from %u",
+                        static_cast<unsigned long long>(round),
+                        update.client);
+                    continue;
+                }
+            }
+            deliverable[i] = true;
+            gradient_txs.push_back(std::move(tx));
         }
-        miner_sets[miner].add(update);
-        gradient_txs.push_back(std::move(tx));
+        const std::vector<double> up_seconds =
+            delays.t_up_each(updates.size(), wire_payload, up_rng);
+        double slowest_up = 0.0;
+        for (const double s : up_seconds)
+            slowest_up = std::max(slowest_up, s);
+        record.delay.t_up = slowest_up;
+
+        // --- The delivery schedule, fault plan applied.
+        const support::FaultPlan* faults = config_.fault_plan.get();
+        std::vector<PendingDelivery> deliveries;
+        deliveries.reserve(updates.size());
+        for (std::size_t i = 0; i < updates.size(); ++i) {
+            if (!deliverable[i]) continue;
+            const fl::NodeId client = updates[i].client;
+            if (faults != nullptr && faults->dropped(round, client))
+                continue;
+            const double factor =
+                faults != nullptr ? faults->delay_factor(round, client)
+                                  : 1.0;
+            const double seconds =
+                (local_seconds[i] + up_seconds[i]) * factor;
+            deliveries.push_back({i, sim_ns(seconds), false});
+            const std::size_t copies =
+                faults != nullptr ? faults->duplicates(round, client) : 0;
+            for (std::size_t c = 0; c < copies; ++c) {
+                // Each replay trails the original by one more upload
+                // interval -- deterministic, no fresh randomness.
+                const double replay =
+                    seconds + static_cast<double>(c + 1) * up_seconds[i];
+                deliveries.push_back({i, sim_ns(replay), true});
+            }
+        }
+        return deliveries;
+    };
+
+    // Async mining races collection when the engine is engaged: empty
+    // blocks are minted while the round's content is still in flight.
+    MiningRaceSpec race;
+    const MiningRaceSpec* race_ptr = nullptr;
+    if (config_.stage_mining && config_.round.engaged() &&
+        consensus_->name() == "async_pow") {
+        race.mean_solve_seconds =
+            static_cast<double>(config_.delay.difficulty) /
+            config_.delay.miner_hashes_per_second;
+        race.rng = &race_rng;
+        race_ptr = &race;
     }
-    record.delay.t_up = delays.t_up(updates.size(), wire_payload, up_rng);
+
+    const CollectOutcome outcome = engine_.collect(
+        selected.size(), work, prepare, config_.pool, race_ptr);
+    record.on_time_updates = outcome.on_time.size();
+    record.late_updates = outcome.late.size();
+    record.duplicate_updates_dropped = outcome.duplicates_dropped;
+    record.quorum_needed = outcome.quorum_needed;
+    record.deadline_fired = outcome.deadline_fired;
+    record.wait_quorum_seconds = outcome.wait_quorum_seconds();
+    record.empty_blocks_this_round = outcome.empty_blocks;
 
     // --- Procedure III: miners exchange gradient sets until identical.
+    // Membership is whatever actually arrived on time, plus prior rounds'
+    // late joiners (GradientSet::add keeps the first copy per client, so
+    // a fresh update beats a stale carryover).
     fl::GradientSet full_set;
-    for (const auto& set : miner_sets) full_set.merge(set);
+    for (const std::size_t idx : outcome.on_time) full_set.add(updates[idx]);
+    for (auto& carried : engine_.take_carryovers())
+        if (full_set.add(std::move(carried))) ++record.carried_in_updates;
     full_set.canonicalize();
     if (config_.stage_exchange && config_.miners > 1) {
         const std::size_t set_bytes = payload * full_set.size();
@@ -184,7 +291,15 @@ void FairBfl::round_body(std::uint64_t round, BflRoundRecord& record) {
     for (const auto& u : final_updates)
         record.fl.participant_ids.push_back(u.client);
     if (final_updates.empty()) {
-        // Nothing arrived (all clients benched/dropped): keep weights.
+        // Nothing arrived on time (all clients benched / dropped): keep
+        // the weights; late stragglers still join the next round.
+        if (!outcome.late.empty()) {
+            std::vector<fl::GradientUpdate> late;
+            late.reserve(outcome.late.size());
+            for (const std::size_t idx : outcome.late)
+                late.push_back(std::move(updates[idx]));
+            engine_.carry(std::move(late));
+        }
         record.fl.test_accuracy = model_->accuracy(weights_, test_set_);
         record.chain_height = chain_.height();
         return;
@@ -290,12 +405,76 @@ void FairBfl::round_body(std::uint64_t round, BflRoundRecord& record) {
     }
     record.chain_height = chain_.height();
 
-    // --- Metrics.
+    // --- Late gradients (engaged configs only; the degenerate config has
+    // none by construction).
+    bool resettled = false;
+    fl::GradientSet settled_set;
+    if (!outcome.late.empty() &&
+        config_.round.late_policy == LatePolicy::kRetroactive) {
+        // Retroactive settlement: re-run Procedure IV over on-time + late
+        // and amend the ledger in place, preserving per-round budget
+        // conservation.  The on-time block already sealed this round's
+        // chain entry; the amended rewards are the ledger's (off-chain
+        // settlement) view.
+        settled_set = full_set;
+        for (const std::size_t idx : outcome.late)
+            settled_set.add(updates[idx]);
+        settled_set.canonicalize();
+        const auto& all_updates = settled_set.updates();
+        std::vector<float> provisional_all;
+        {
+            const telemetry::Span span(telemetry::labels::round_aggregate());
+            provisional_all = aggregator_->aggregate(all_updates);
+        }
+        if (config_.enable_incentive) {
+            incentive::ContributionReport report;
+            {
+                const telemetry::Span span(
+                    telemetry::labels::round_cluster());
+                report = contribution_->identify(all_updates, provisional_all,
+                                                 round_start_weights);
+            }
+            {
+                const telemetry::Span span(
+                    telemetry::labels::round_aggregate());
+                weights_ = reward_->settle(
+                    all_updates, report,
+                    config_.aggregator ? aggregator_.get() : nullptr);
+            }
+            ledger_.amend_round(round, report);
+            record.round_reward_total = report.total_reward();
+            record.low_contribution_clients = report.low_clients();
+            record.detection_rate = detection_rate(
+                record.attacker_clients, record.low_contribution_clients);
+            if (reward_->benches_low_contributors()) {
+                benched_clients_.clear();
+                for (const auto client : record.low_contribution_clients)
+                    benched_clients_.push_back(client);
+            }
+        } else {
+            weights_ = provisional_all;
+        }
+        record.fl.participants = all_updates.size();
+        record.fl.participant_ids.clear();
+        for (const auto& u : all_updates)
+            record.fl.participant_ids.push_back(u.client);
+        resettled = true;
+    } else if (!outcome.late.empty()) {
+        std::vector<fl::GradientUpdate> late;
+        late.reserve(outcome.late.size());
+        for (const std::size_t idx : outcome.late)
+            late.push_back(std::move(updates[idx]));
+        engine_.carry(std::move(late));
+    }
+
+    // --- Metrics (over the set that actually shaped weights_).
     record.fl.test_accuracy = model_->accuracy(weights_, test_set_);
+    const auto& metric_updates =
+        resettled ? settled_set.updates() : final_updates;
     double loss_sum = 0.0;
-    for (const auto& u : final_updates) loss_sum += u.local_loss;
+    for (const auto& u : metric_updates) loss_sum += u.local_loss;
     record.fl.mean_local_loss =
-        loss_sum / static_cast<double>(final_updates.size());
+        loss_sum / static_cast<double>(metric_updates.size());
 }
 
 std::vector<BflRoundRecord> FairBfl::run(std::size_t rounds) {

@@ -25,11 +25,13 @@
 #include "chain/chain.hpp"
 #include "core/attacker.hpp"
 #include "core/delay_model.hpp"
+#include "core/round_engine.hpp"
 #include "core/strategies.hpp"
 #include "fl/fedavg.hpp"
 #include "fl/local_trainer.hpp"
 #include "incentive/contribution.hpp"
 #include "incentive/reward.hpp"
+#include "support/fault_plan.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fairbfl::core {
@@ -76,6 +78,19 @@ struct FairBflConfig {
     std::shared_ptr<const ContributionPolicy> contribution;
     /// Low-contribution handling.  Null = from `incentive.strategy`.
     std::shared_ptr<const RewardPolicy> reward;
+
+    // --- Async round engine (core/round_engine.hpp).
+    /// Quorum-or-deadline collection contract.  The default (full
+    /// participation, no deadline) reproduces the lockstep series
+    /// bit-for-bit; engaging either knob makes the round partial-
+    /// participation with late-gradient handling per `round.late_policy`.
+    RoundConfig round;
+    /// Optional fault-injection plan (dropout / straggler / duplicate /
+    /// churn) applied to the round's deliveries.  Null = no faults.
+    std::shared_ptr<const support::FaultPlan> fault_plan;
+    /// Pool carrying the round's training fan-out; null = the process
+    /// global pool.  Results are identical for any pool size.
+    support::ThreadPool* pool = nullptr;
 };
 
 /// Everything that happened in one FAIR-BFL communication round.
@@ -98,6 +113,18 @@ struct BflRoundRecord {
     std::size_t chain_height = 0;            ///< after this round
     std::size_t blocks_this_round = 0;
     std::size_t forks_this_round = 0;        ///< ablation runs only
+
+    // --- Async round engine outcome (core/round_engine.hpp).
+    std::size_t on_time_updates = 0;  ///< aggregated at the trigger
+    std::size_t late_updates = 0;     ///< arrived after the trigger
+    std::size_t carried_in_updates = 0;  ///< prior rounds' late joiners
+    std::size_t duplicate_updates_dropped = 0;  ///< replays deduplicated
+    std::size_t empty_blocks_this_round = 0;  ///< async-race idle solves
+    std::size_t quorum_needed = 0;
+    bool deadline_fired = false;
+    /// Virtual seconds the trigger waited for quorum after the first
+    /// arrival.
+    double wait_quorum_seconds = 0.0;
 };
 
 class FairBfl {
@@ -158,6 +185,8 @@ private:
     crypto::KeyStore keys_;
     chain::Blockchain chain_;
     incentive::RewardLedger ledger_;
+    /// Quorum-or-deadline collection state machine + carryover store.
+    RoundEngine engine_;
     /// Event-log session: all of this system's spans/counters route here,
     /// harvested once per round (keeps concurrent run_suite systems'
     /// events separated).

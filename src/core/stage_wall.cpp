@@ -18,6 +18,10 @@ StageWall stage_wall_from(const telemetry::RoundStats& stats) {
     wall.cluster_root = stats.seconds_of("cluster.root_pass");
     wall.index_peak_bytes =
         static_cast<std::size_t>(stats.max_of("cluster.index_bytes"));
+    wall.wait_quorum =
+        static_cast<double>(stats.sum_of("round.wait_quorum_ns")) * 1e-9;
+    wall.late_updates =
+        static_cast<std::size_t>(stats.sum_of("round.late_updates"));
     return wall;
 }
 

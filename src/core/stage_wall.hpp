@@ -49,6 +49,13 @@ struct [[deprecated(
     /// round, in bytes -- the memory counterpart riding along the perf
     /// record (perf JSON `index_peak_bytes`; not a time, not in total()).
     std::size_t index_peak_bytes = 0;
+    /// *Virtual* seconds the round engine's trigger spent waiting for
+    /// quorum after the first arrival (perf JSON `seconds.wait_quorum`).
+    /// Simulated time, not host time: never added into total().
+    double wait_quorum = 0.0;
+    /// Updates that arrived after the round's aggregation trigger (perf
+    /// JSON `late_updates`; zero for the degenerate lockstep config).
+    std::size_t late_updates = 0;
 
     [[nodiscard]] double total() const noexcept {
         return local + cluster + aggregate + mine;
@@ -66,6 +73,8 @@ struct [[deprecated(
 ///   cluster_shards  <- span "cluster.shard_pass"
 ///   cluster_root    <- span "cluster.root_pass"
 ///   index_peak_bytes<- max counter "cluster.index_bytes"
+///   wait_quorum     <- sum counter "round.wait_quorum_ns" (virtual ns)
+///   late_updates    <- sum counter "round.late_updates"
 // The factory is part of the shim: it must keep naming the deprecated
 // type without tripping -Werror=deprecated-declarations.
 #pragma GCC diagnostic push

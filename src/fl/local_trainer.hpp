@@ -53,6 +53,25 @@ public:
         std::span<const float> global_weights, const ml::SgdParams& sgd,
         std::uint64_t round, std::uint64_t root_seed);
 
+    /// Sizes the per-client cache for a population.  Must be called (once
+    /// per population size) before train_one() runs from pool workers:
+    /// the cache vector may not grow during a fan-out.  run() calls it
+    /// itself.
+    void ensure_capacity(std::size_t population);
+
+    /// Trains exactly one client -- the work item the round engine posts
+    /// to the pool, whose completion becomes an arrival event.  Identical
+    /// math to the matching run() slot (same Rng fork, same kernels).
+    /// Safe to call concurrently for *distinct* client ids once
+    /// ensure_capacity(clients.size()) has run; emits a "local.client"
+    /// span under the caller's telemetry context.
+    [[nodiscard]] GradientUpdate train_one(const std::vector<Client>& clients,
+                                           std::size_t client_id,
+                                           std::span<const float> global_weights,
+                                           const ml::SgdParams& sgd,
+                                           std::uint64_t round,
+                                           std::uint64_t root_seed);
+
     [[nodiscard]] const Options& options() const noexcept { return options_; }
 
 private:

@@ -19,6 +19,24 @@ void RewardLedger::record_entry(RewardEntry entry) {
     history_.push_back(entry);
 }
 
+std::size_t RewardLedger::amend_round(std::uint64_t round,
+                                      const ContributionReport& report) {
+    std::size_t removed = 0;
+    auto keep = history_.begin();
+    for (auto& entry : history_) {
+        if (entry.round == round) {
+            totals_[entry.client] -= entry.amount;
+            ++removed;
+            continue;
+        }
+        *keep++ = std::move(entry);
+    }
+    history_.erase(keep, history_.end());
+    rounds_seen_.erase(round);
+    record(round, report);
+    return removed;
+}
+
 double RewardLedger::total_for(fl::NodeId client) const {
     const auto it = totals_.find(client);
     return it == totals_.end() ? 0.0 : it->second;

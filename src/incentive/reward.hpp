@@ -26,6 +26,14 @@ public:
     void record(std::uint64_t round, const ContributionReport& report);
     /// Records a single entry (e.g. replayed from chain transactions).
     void record_entry(RewardEntry entry);
+    /// Replaces `round`'s entries with the report's (retroactive
+    /// settlement of late gradients, core/round_engine.hpp): the round's
+    /// previous rewards are removed from the history and totals, then the
+    /// report is recorded in their place, so per-round budget
+    /// conservation still holds after an amendment.  Returns how many
+    /// entries were removed.
+    std::size_t amend_round(std::uint64_t round,
+                            const ContributionReport& report);
 
     [[nodiscard]] double total_for(fl::NodeId client) const;
     [[nodiscard]] double grand_total() const;

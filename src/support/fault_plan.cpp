@@ -1,0 +1,91 @@
+#include "support/fault_plan.hpp"
+
+#include "support/rng.hpp"
+
+namespace fairbfl::support {
+
+void FaultPlan::add_dropout(std::uint64_t round, std::uint32_t client) {
+    entries_.push_back(Entry{round, round, client, Kind::kDropout, 1.0, 0});
+}
+
+void FaultPlan::add_churn(std::uint64_t first_round, std::uint64_t last_round,
+                          std::uint32_t client) {
+    entries_.push_back(
+        Entry{first_round, last_round, client, Kind::kDropout, 1.0, 0});
+}
+
+void FaultPlan::add_straggler(std::uint64_t round, std::uint32_t client,
+                              double factor) {
+    entries_.push_back(
+        Entry{round, round, client, Kind::kStraggler, factor, 0});
+}
+
+void FaultPlan::add_duplicate(std::uint64_t round, std::uint32_t client,
+                              std::size_t copies) {
+    entries_.push_back(
+        Entry{round, round, client, Kind::kDuplicate, 1.0, copies});
+}
+
+FaultPlan FaultPlan::sampled(const FaultSpec& spec, std::uint64_t seed,
+                             std::uint64_t rounds, std::uint32_t clients) {
+    FaultPlan plan;
+    // One stream per fault kind so adding a rate never shifts another
+    // kind's draws (the common-random-numbers discipline the delay model
+    // uses).  Iteration is round-major, client-minor -- fixed, so the
+    // plan is a pure function of (spec, seed).
+    auto drop_rng = Rng::fork(seed, /*stream=*/0xFA01);
+    auto strag_rng = Rng::fork(seed, /*stream=*/0xFA02);
+    auto dup_rng = Rng::fork(seed, /*stream=*/0xFA03);
+    auto churn_rng = Rng::fork(seed, /*stream=*/0xFA04);
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        for (std::uint32_t client = 0; client < clients; ++client) {
+            if (spec.dropout_rate > 0.0 &&
+                drop_rng.bernoulli(spec.dropout_rate))
+                plan.add_dropout(round, client);
+            if (spec.straggler_rate > 0.0 &&
+                strag_rng.bernoulli(spec.straggler_rate))
+                plan.add_straggler(round, client, spec.straggler_factor);
+            if (spec.duplicate_rate > 0.0 &&
+                dup_rng.bernoulli(spec.duplicate_rate))
+                plan.add_duplicate(round, client);
+            if (spec.churn_rate > 0.0 &&
+                churn_rng.bernoulli(spec.churn_rate)) {
+                const std::uint64_t span =
+                    spec.churn_rounds > 0 ? spec.churn_rounds - 1 : 0;
+                plan.add_churn(round, round + span, client);
+            }
+        }
+    }
+    return plan;
+}
+
+bool FaultPlan::dropped(std::uint64_t round,
+                        std::uint32_t client) const noexcept {
+    for (const auto& entry : entries_) {
+        if (entry.kind == Kind::kDropout && covers(entry, round, client))
+            return true;
+    }
+    return false;
+}
+
+double FaultPlan::delay_factor(std::uint64_t round,
+                               std::uint32_t client) const noexcept {
+    double factor = 1.0;
+    for (const auto& entry : entries_) {
+        if (entry.kind == Kind::kStraggler && covers(entry, round, client))
+            factor *= entry.factor;
+    }
+    return factor;
+}
+
+std::size_t FaultPlan::duplicates(std::uint64_t round,
+                                  std::uint32_t client) const noexcept {
+    std::size_t copies = 0;
+    for (const auto& entry : entries_) {
+        if (entry.kind == Kind::kDuplicate && covers(entry, round, client))
+            copies += entry.copies;
+    }
+    return copies;
+}
+
+}  // namespace fairbfl::support

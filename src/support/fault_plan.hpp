@@ -1,0 +1,106 @@
+#pragma once
+// Seeded, data-driven fault plans for the async round engine's simulation
+// harness (tests/test_fault_injection.cpp).
+//
+// A plan is a flat list of (kind, round range, client) entries queried by
+// the round engine when it schedules each client's delivery:
+//
+//   * dropout / churn -- the client's update is never delivered for the
+//     covered rounds (dropout is a one-round churn; churn spans several);
+//   * straggler      -- the delivery's virtual arrival time is multiplied
+//     by `factor` (e.g. 10x for a p99 tail);
+//   * duplicate      -- `copies` extra replayed deliveries of the same
+//     update arrive after the original (the engine deduplicates and
+//     counts them).
+//
+// Plans are immutable after construction and queried without randomness,
+// so a (plan, seed) pair replays byte-identically under any thread count.
+// `sampled()` draws a plan from per-(round, client) Bernoulli rates in a
+// fixed iteration order -- the seeded, data-driven hook the fault tests
+// use; hand-built plans via the add_*() calls pin exact scenarios.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairbfl::support {
+
+/// Rates for FaultPlan::sampled(), all per (round, client) unless noted.
+struct FaultSpec {
+    double dropout_rate = 0.0;       ///< update silently never delivered
+    double straggler_rate = 0.0;     ///< arrival delayed by straggler_factor
+    double straggler_factor = 10.0;  ///< arrival-time multiplier when drawn
+    double duplicate_rate = 0.0;     ///< one replayed copy is delivered
+    /// Per (round, client) probability of going offline for churn_rounds
+    /// consecutive rounds (models churn: leave, then rejoin).
+    double churn_rate = 0.0;
+    std::uint64_t churn_rounds = 2;
+};
+
+class FaultPlan {
+public:
+    /// Client `client` never delivers in round `round`.
+    void add_dropout(std::uint64_t round, std::uint32_t client);
+    /// Client `client` is offline for rounds [first_round, last_round].
+    void add_churn(std::uint64_t first_round, std::uint64_t last_round,
+                   std::uint32_t client);
+    /// Client `client`'s round-`round` arrival time is multiplied by
+    /// `factor` (stacking stragglers multiply).
+    void add_straggler(std::uint64_t round, std::uint32_t client,
+                       double factor);
+    /// `copies` replayed deliveries of client `client`'s round-`round`
+    /// update arrive after the original.
+    void add_duplicate(std::uint64_t round, std::uint32_t client,
+                       std::size_t copies = 1);
+
+    /// Draws a plan covering `rounds` x `clients` from `spec`'s rates.
+    /// Deterministic in (spec, seed); iteration order is fixed, so the
+    /// same arguments always produce the same plan.
+    [[nodiscard]] static FaultPlan sampled(const FaultSpec& spec,
+                                           std::uint64_t seed,
+                                           std::uint64_t rounds,
+                                           std::uint32_t clients);
+
+    /// True when the client's round-`round` update is never delivered
+    /// (dropout or churn window).
+    [[nodiscard]] bool dropped(std::uint64_t round,
+                               std::uint32_t client) const noexcept;
+    /// Product of every straggler factor covering (round, client); 1.0
+    /// when none apply.
+    [[nodiscard]] double delay_factor(std::uint64_t round,
+                                      std::uint32_t client) const noexcept;
+    /// Extra replayed deliveries of (round, client)'s update.
+    [[nodiscard]] std::size_t duplicates(std::uint64_t round,
+                                         std::uint32_t client) const noexcept;
+
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept {
+        return entries_.size();
+    }
+
+private:
+    enum class Kind : std::uint8_t {
+        kDropout,    ///< covers add_dropout and add_churn
+        kStraggler,
+        kDuplicate,
+    };
+
+    struct Entry {
+        std::uint64_t first_round = 0;
+        std::uint64_t last_round = 0;  ///< inclusive
+        std::uint32_t client = 0;
+        Kind kind = Kind::kDropout;
+        double factor = 1.0;       ///< straggler multiplier
+        std::size_t copies = 0;    ///< duplicate deliveries
+    };
+
+    [[nodiscard]] bool covers(const Entry& entry, std::uint64_t round,
+                              std::uint32_t client) const noexcept {
+        return entry.client == client && entry.first_round <= round &&
+               round <= entry.last_round;
+    }
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace fairbfl::support

@@ -137,15 +137,21 @@ std::string to_json(const Dump& dump) {
                       "\"cluster\": %.6f, \"index_build\": %.6f, "
                       "\"shard_cluster\": %.6f, \"root_cluster\": %.6f, "
                       "\"aggregate\": %.6f, \"mine\": %.6f, "
+                      "\"wait_quorum\": %.6f, "
                       "\"total\": %.6f},\n"
                       "     \"index_peak_bytes\": %" PRIu64 ",\n"
+                      "     \"late_updates\": %" PRIu64 ",\n"
                       "     \"events\": %" PRIu64 ", \"stats\": {",
                       stats.session, stats.round, local, cluster,
                       stats.seconds_of("cluster.index_build"),
                       stats.seconds_of("cluster.shard_pass"),
                       stats.seconds_of("cluster.root_pass"), aggregate, mine,
+                      static_cast<double>(
+                          stats.sum_of("round.wait_quorum_ns")) *
+                          1e-9,
                       local + cluster + aggregate + mine,
-                      stats.max_of("cluster.index_bytes"), stats.records);
+                      stats.max_of("cluster.index_bytes"),
+                      stats.sum_of("round.late_updates"), stats.records);
         bool first = true;
         for (const auto& [name, label] : stats.labels) {
             append_format(out,

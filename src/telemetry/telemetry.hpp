@@ -256,6 +256,28 @@ inline Label delay_bl_ns() {
     static const Label id = intern("delay.bl_ns");
     return id;
 }
+/// One processed virtual-clock event (core/event_loop.hpp).
+inline Label engine_event() {
+    static const Label id = intern("engine.event");
+    return id;
+}
+/// Virtual timestamp samples (counter_max = the round's virtual makespan).
+inline Label engine_virtual_ns() {
+    static const Label id = intern("engine.virtual_ns");
+    return id;
+}
+/// Virtual ns the aggregation trigger waited for quorum after the first
+/// arrival (perf JSON `seconds.wait_quorum`).
+inline Label wait_quorum_ns() {
+    static const Label id = intern("round.wait_quorum_ns");
+    return id;
+}
+/// Updates that arrived after the aggregation trigger (perf JSON
+/// `late_updates`).
+inline Label late_updates() {
+    static const Label id = intern("round.late_updates");
+    return id;
+}
 }  // namespace labels
 
 // --- Statistics ------------------------------------------------------------

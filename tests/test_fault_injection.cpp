@@ -1,0 +1,356 @@
+// Fault-injection simulation harness: seeded, data-driven FaultPlans
+// (dropout, straggler tails, duplicate delivery, churn) driven through
+// the async round engine, asserting that the incentive layer's
+// guarantees -- per-round reward-budget conservation and attacker
+// detection -- survive every fault mode, and that any faulted schedule
+// replays byte-identically across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "core/fairbfl.hpp"
+#include "ml/partition.hpp"
+#include "ml/synthetic_mnist.hpp"
+#include "support/fault_plan.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+namespace core = fairbfl::core;
+namespace fl = fairbfl::fl;
+namespace ml = fairbfl::ml;
+namespace support = fairbfl::support;
+
+struct World {
+    ml::Dataset data;
+    std::unique_ptr<ml::Model> model;
+    std::vector<ml::DatasetView> shards;
+    ml::DatasetView test;
+
+    explicit World(std::size_t clients = 10, std::uint64_t seed = 61)
+        : data(ml::make_synthetic_mnist({.samples = 600,
+                                         .feature_dim = 8,
+                                         .num_classes = 4,
+                                         .noise_sigma = 0.25,
+                                         .seed = seed})) {
+        model = ml::make_logistic_regression(8, 4);
+        const auto split = ml::train_test_split(data, 0.2, seed);
+        test = split.test;
+        ml::PartitionParams params;
+        params.scheme = ml::PartitionScheme::kIid;
+        params.num_clients = clients;
+        params.seed = seed;
+        shards = ml::partition(split.train, params);
+    }
+
+    [[nodiscard]] std::vector<fl::Client> clients() const {
+        return fl::make_clients(*model, shards);
+    }
+};
+
+/// Table-2 attack settings on the fast fixture: full participation (the
+/// n+1 clustered points Algorithm 2 expects), sign-flip forgeries at
+/// magnitude 3, up to 3 attackers per round, discard defense.
+core::FairBflConfig attacked_config() {
+    core::FairBflConfig config;
+    config.fl.client_ratio = 1.0;
+    config.fl.rounds = 12;
+    config.fl.sgd.learning_rate = 0.1;
+    config.fl.sgd.epochs = 3;
+    config.fl.sgd.batch_size = 10;
+    config.fl.seed = 42;
+    config.miners = 2;
+    config.attack.kind = core::AttackKind::kSignFlip;
+    config.attack.magnitude = 3.0;
+    config.attack.max_attackers = 3;
+    config.incentive.strategy =
+        fairbfl::incentive::LowContributionStrategy::kDiscard;
+    return config;
+}
+
+/// Per-round reward-budget conservation: the ledger's entries for each
+/// round must sum to exactly what that round's settlement reported.
+void expect_budget_conserved(const core::FairBfl& system,
+                             const std::vector<core::BflRoundRecord>& runs) {
+    std::vector<double> per_round(runs.size(), 0.0);
+    for (const auto& entry : system.ledger().history()) {
+        ASSERT_LT(entry.round, runs.size());
+        per_round[entry.round] += entry.amount;
+    }
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        EXPECT_NEAR(per_round[r], runs[r].round_reward_total, 1e-9)
+            << "round " << r << " ledger sum drifted from its settlement";
+    }
+}
+
+double mean_detection(const std::vector<core::BflRoundRecord>& runs) {
+    double sum = 0.0;
+    for (const auto& record : runs) sum += record.detection_rate;
+    return sum / static_cast<double>(runs.size());
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: seeded, data-driven, immutable.
+
+TEST(FaultPlan, HandAuthoredEntriesAnswerQueries) {
+    support::FaultPlan plan;
+    plan.add_dropout(/*round=*/1, /*client=*/4);
+    plan.add_straggler(/*round=*/2, /*client=*/5, /*factor=*/10.0);
+    plan.add_duplicate(/*round=*/3, /*client=*/6, /*copies=*/2);
+    plan.add_churn(/*first=*/4, /*last=*/6, /*client=*/7);
+    EXPECT_TRUE(plan.dropped(1, 4));
+    EXPECT_FALSE(plan.dropped(0, 4));
+    EXPECT_FALSE(plan.dropped(1, 3));
+    EXPECT_DOUBLE_EQ(plan.delay_factor(2, 5), 10.0);
+    EXPECT_DOUBLE_EQ(plan.delay_factor(2, 4), 1.0);
+    EXPECT_EQ(plan.duplicates(3, 6), 2U);
+    EXPECT_EQ(plan.duplicates(3, 5), 0U);
+    EXPECT_TRUE(plan.dropped(4, 7));
+    EXPECT_TRUE(plan.dropped(6, 7));
+    EXPECT_FALSE(plan.dropped(7, 7));
+    EXPECT_EQ(plan.size(), 4U);
+}
+
+TEST(FaultPlan, SampledPlansAreSeedDeterministic) {
+    support::FaultSpec spec;
+    spec.dropout_rate = 0.1;
+    spec.straggler_rate = 0.1;
+    spec.duplicate_rate = 0.1;
+    spec.churn_rate = 0.05;
+    const auto a = support::FaultPlan::sampled(spec, 7, 5, 10);
+    const auto b = support::FaultPlan::sampled(spec, 7, 5, 10);
+    const auto c = support::FaultPlan::sampled(spec, 8, 5, 10);
+    EXPECT_EQ(a.size(), b.size());
+    bool identical = true;
+    bool differs_from_c = a.size() != c.size();
+    for (std::uint64_t r = 0; r < 5; ++r) {
+        for (fl::NodeId n = 0; n < 10; ++n) {
+            identical &= a.dropped(r, n) == b.dropped(r, n) &&
+                         a.delay_factor(r, n) == b.delay_factor(r, n) &&
+                         a.duplicates(r, n) == b.duplicates(r, n);
+            differs_from_c |= a.dropped(r, n) != c.dropped(r, n) ||
+                              a.delay_factor(r, n) != c.delay_factor(r, n);
+        }
+    }
+    EXPECT_TRUE(identical);
+    EXPECT_TRUE(differs_from_c);
+}
+
+// ---------------------------------------------------------------------------
+// Fault modes through the full system.
+
+TEST(FaultInjection, DropoutMidRoundConservesBudgetAndDetection) {
+    World world;
+    core::FairBflConfig config = attacked_config();
+    config.round.quorum_fraction = 0.99;  // waits, but tolerates dropouts
+
+    // Full-participation baseline at the same attack settings.
+    core::FairBfl baseline(*world.model, world.clients(), world.test,
+                           attacked_config());
+    const auto base_runs = baseline.run(5);
+    expect_budget_conserved(baseline, base_runs);
+
+    // Drop two honest clients mid-experiment (avoid ever dropping an
+    // attacker: that would *raise* apparent detection for free).
+    auto plan = std::make_shared<support::FaultPlan>();
+    for (fl::NodeId client = 0; client < 10; ++client) {
+        bool attacks = false;
+        for (const auto& record : base_runs)
+            for (const auto id : record.attacker_clients)
+                attacks |= id == client;
+        if (attacks) continue;
+        plan->add_dropout(1, client);
+        plan->add_dropout(3, client);
+        break;
+    }
+    ASSERT_EQ(plan->size(), 2U);
+
+    core::FairBflConfig faulted_config = config;
+    faulted_config.fault_plan = plan;
+    core::FairBfl system(*world.model, world.clients(), world.test,
+                         faulted_config);
+    const auto runs = system.run(5);
+    expect_budget_conserved(system, runs);
+    EXPECT_NEAR(mean_detection(runs), mean_detection(base_runs), 0.02)
+        << "dropouts shifted attacker detection by more than 2%";
+}
+
+TEST(FaultInjection, StragglerTailArrivesLateAndRejoins) {
+    World world;
+    core::FairBflConfig config = attacked_config();
+    // Deadline sized to the healthy tail (~5 virtual seconds on this
+    // fixture): a 10x straggler must miss it.
+    config.round.quorum_fraction = 1.0;
+    config.round.deadline_ns = 15'000'000'000ULL;  // 15 virtual seconds
+    config.round.late_policy = core::LatePolicy::kNextRound;
+
+    core::FairBfl probe(*world.model, world.clients(), world.test, config);
+    const auto probe_rec = probe.run_round();
+    ASSERT_GT(probe_rec.on_time_updates, 0U)
+        << "deadline too tight for the healthy fixture";
+    ASSERT_EQ(probe_rec.late_updates, 0U)
+        << "healthy fixture must fit the deadline";
+    ASSERT_FALSE(probe_rec.fl.participant_ids.empty());
+
+    // p99-style tail: one participating client slowed 10x in both rounds
+    // (a persistent straggler -- its round-0 gradient carries into round 1
+    // while its fresh round-1 update is late again).
+    auto plan = std::make_shared<support::FaultPlan>();
+    plan->add_straggler(0, probe_rec.fl.participant_ids.front(), 10.0);
+    plan->add_straggler(1, probe_rec.fl.participant_ids.front(), 10.0);
+    core::FairBflConfig faulted = config;
+    faulted.fault_plan = plan;
+    core::FairBfl system(*world.model, world.clients(), world.test, faulted);
+    const auto first = system.run_round();
+    EXPECT_TRUE(first.deadline_fired);
+    EXPECT_EQ(first.late_updates, 1U);
+    EXPECT_EQ(first.on_time_updates, probe_rec.on_time_updates - 1);
+    const auto second = system.run_round();
+    EXPECT_EQ(second.carried_in_updates, 1U)
+        << "the straggler's gradient must join the next round";
+
+    const auto runs = std::vector<core::BflRoundRecord>{first, second};
+    expect_budget_conserved(system, runs);
+}
+
+TEST(FaultInjection, DuplicateDeliveryIsByteExactlyHarmless) {
+    World world;
+    core::FairBflConfig config = attacked_config();
+    config.round.quorum_fraction = 0.6;
+    config.round.deadline_ns = 120'000'000'000ULL;
+
+    core::FairBfl clean(*world.model, world.clients(), world.test, config);
+    const auto clean_runs = clean.run(3);
+
+    // Replay every client's upload twice, every round.
+    auto plan = std::make_shared<support::FaultPlan>();
+    for (std::uint64_t round = 0; round < 3; ++round)
+        for (fl::NodeId client = 0; client < 10; ++client)
+            plan->add_duplicate(round, client, 2);
+    core::FairBflConfig faulted = config;
+    faulted.fault_plan = plan;
+    core::FairBfl system(*world.model, world.clients(), world.test, faulted);
+    const auto runs = system.run(3);
+
+    std::size_t dropped = 0;
+    for (const auto& record : runs) dropped += record.duplicate_updates_dropped;
+    EXPECT_GT(dropped, 0U) << "replays must actually have been delivered";
+
+    // Dedup-on-arrival means replays never change membership: the whole
+    // series -- and the weights -- must be byte-identical.
+    ASSERT_EQ(clean.weights().size(), system.weights().size());
+    EXPECT_EQ(std::memcmp(clean.weights().data(), system.weights().data(),
+                          clean.weights().size() * sizeof(float)),
+              0);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        EXPECT_EQ(runs[r].fl.test_accuracy, clean_runs[r].fl.test_accuracy);
+        EXPECT_EQ(runs[r].on_time_updates, clean_runs[r].on_time_updates);
+        EXPECT_EQ(runs[r].late_updates, clean_runs[r].late_updates);
+    }
+    expect_budget_conserved(system, runs);
+}
+
+TEST(FaultInjection, ChurnAcrossFiveRoundsKeepsGuarantees) {
+    World world;
+    // kKeepAll still *flags* attackers (detection is the clustering
+    // outcome, strategy-independent) but never benches them, so selection
+    // stays at the full population every round and the baseline's
+    // attacker sampling is byte-for-byte the faulted run's.  kDiscard
+    // would bench flagged clients and fork the two runs' memberships.
+    core::FairBflConfig lockstep = attacked_config();
+    lockstep.incentive.strategy =
+        fairbfl::incentive::LowContributionStrategy::kKeepAll;
+    core::FairBflConfig config = lockstep;
+    config.round.quorum_fraction = 0.9;
+    config.round.deadline_ns = 120'000'000'000ULL;
+
+    core::FairBfl baseline(*world.model, world.clients(), world.test,
+                           lockstep);
+    const auto base_runs = baseline.run(5);
+
+    // Staggered 2-round outages (rounds 0-1, 2-3, 4), each on a client
+    // that is honest *during its own span* -- churning an attacker away
+    // would shift apparent detection by construction, not by defect.
+    // Attack sampling never touches the fault plan's RNG streams, so the
+    // baseline's per-round attacker sets are the faulted run's too.
+    const auto honest_during = [&](fl::NodeId client, std::uint64_t first,
+                                   std::uint64_t last) {
+        for (std::uint64_t r = first; r <= last; ++r)
+            for (const auto id : base_runs[r].attacker_clients)
+                if (id == client) return false;
+        return true;
+    };
+    auto plan = std::make_shared<support::FaultPlan>();
+    fl::NodeId candidate = 0;
+    for (const auto [first, last] :
+         {std::pair<std::uint64_t, std::uint64_t>{0, 1}, {2, 3}, {4, 4}}) {
+        while (candidate < 10 && !honest_during(candidate, first, last))
+            ++candidate;
+        ASSERT_LT(candidate, 10U) << "fixture ran out of honest clients";
+        plan->add_churn(first, last, candidate);
+        ++candidate;
+    }
+    ASSERT_EQ(plan->size(), 3U);
+    core::FairBflConfig faulted = config;
+    faulted.fault_plan = plan;
+    core::FairBfl system(*world.model, world.clients(), world.test, faulted);
+    const auto runs = system.run(5);
+
+    ASSERT_EQ(runs.size(), 5U);
+    for (const auto& record : runs) {
+        // Every churn span removes exactly one honest client per round.
+        EXPECT_EQ(record.on_time_updates, 9U);
+        EXPECT_EQ(record.late_updates, 0U);
+    }
+    expect_budget_conserved(system, runs);
+    expect_budget_conserved(baseline, base_runs);
+    EXPECT_NEAR(mean_detection(runs), mean_detection(base_runs), 0.02)
+        << "churn shifted attacker detection by more than 2%";
+    // Churn must not wreck learning relative to the same attacked run at
+    // full membership (one-sided: under kKeepAll the forged gradients
+    // make both trajectories noisy, and losing an honest client can just
+    // as well land on a *better* path).
+    EXPECT_GT(runs.back().fl.test_accuracy,
+              base_runs.back().fl.test_accuracy - 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same faulted scenario replays byte-identically
+// whatever the worker-thread count.
+
+std::vector<unsigned char> faulted_weight_bytes(const World& world,
+                                                unsigned threads) {
+    core::FairBflConfig config = attacked_config();
+    config.round.quorum_fraction = 0.6;
+    config.round.deadline_ns = 90'000'000'000ULL;
+    config.round.late_policy = core::LatePolicy::kRetroactive;
+    support::FaultSpec spec;
+    spec.dropout_rate = 0.05;
+    spec.straggler_rate = 0.1;
+    spec.straggler_factor = 10.0;
+    spec.duplicate_rate = 0.1;
+    config.fault_plan = std::make_shared<support::FaultPlan>(
+        support::FaultPlan::sampled(spec, /*seed=*/9, /*rounds=*/4,
+                                    /*clients=*/10));
+    support::ThreadPool pool(threads);
+    config.pool = &pool;
+    core::FairBfl system(*world.model, world.clients(), world.test, config);
+    (void)system.run(4);
+    const auto weights = system.weights();
+    std::vector<unsigned char> bytes(weights.size() * sizeof(float));
+    std::memcpy(bytes.data(), weights.data(), bytes.size());
+    return bytes;
+}
+
+TEST(FaultInjection, FaultedScenarioIsByteIdenticalAcrossThreadCounts) {
+    World world;
+    const auto one = faulted_weight_bytes(world, 1);
+    const auto four = faulted_weight_bytes(world, 4);
+    EXPECT_EQ(one, four)
+        << "same seed, same fault plan: 1 vs 4 worker threads diverged";
+}
+
+}  // namespace

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "chain/chain.hpp"
 #include "cluster/dbscan.hpp"
+#include "core/round_engine.hpp"
 #include "crypto/bigint.hpp"
 #include "fl/aggregation.hpp"
 #include "fl/gradient.hpp"
@@ -19,6 +21,7 @@ namespace {
 using fairbfl::support::Rng;
 namespace ch = fairbfl::chain;
 namespace cl = fairbfl::cluster;
+namespace core = fairbfl::core;
 namespace fl = fairbfl::fl;
 using fairbfl::crypto::BigUint;
 
@@ -330,6 +333,104 @@ TEST_P(SeededProperty, ConvergenceMatchesReference) {
         }
     }
     EXPECT_EQ(detected, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Async round engine: for every random (quorum, deadline, arrival
+// schedule) draw, collection triggers with at least quorum_needed
+// on-time updates unless the deadline fired or the schedule drained, it
+// never waits past a configured deadline, and every delivery is
+// accounted for exactly once.
+
+TEST_P(SeededProperty, RoundEngineQuorumDeadlineInvariants) {
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 25; ++iter) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(0, 20));
+        core::RoundConfig config;
+        config.quorum_fraction = 0.05 * rng.uniform_int(1, 24);  // 0.05..1.2
+        config.deadline_ns =
+            rng.bernoulli(0.3)
+                ? 0
+                : static_cast<core::VirtualTime>(
+                      rng.uniform_int(1, 1'000'000));
+
+        std::vector<core::PendingDelivery> deliveries;
+        std::vector<core::VirtualTime> arrival_of(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            arrival_of[i] = static_cast<core::VirtualTime>(
+                rng.uniform_int(0, 1'200'000));
+            deliveries.push_back({i, arrival_of[i], false});
+            if (rng.bernoulli(0.2))  // occasional replayed upload
+                deliveries.push_back(
+                    {i,
+                     arrival_of[i] + static_cast<core::VirtualTime>(
+                                         rng.uniform_int(0, 500'000)),
+                     true});
+        }
+        const std::size_t total = deliveries.size();
+
+        core::RoundEngine engine(config);
+        const auto out = engine.collect(std::move(deliveries));
+
+        EXPECT_EQ(out.quorum_needed, config.quorum_count(n));
+        // Conservation: every delivery lands in exactly one bucket.
+        EXPECT_EQ(out.on_time.size() + out.late.size() +
+                      out.duplicates_dropped,
+                  total);
+        std::set<std::size_t> ids(out.on_time.begin(), out.on_time.end());
+        ids.insert(out.late.begin(), out.late.end());
+        EXPECT_EQ(ids.size(), out.on_time.size() + out.late.size());
+
+        // Never waits past a configured deadline.
+        if (config.deadline_ns > 0)
+            EXPECT_LE(out.trigger_ns, config.deadline_ns);
+        // Never aggregates fewer than quorum before the deadline: the
+        // only ways to trigger short of quorum are the deadline firing
+        // or the whole schedule draining.
+        if (out.quorum_met)
+            EXPECT_GE(out.on_time.size(), out.quorum_needed);
+        else
+            EXPECT_TRUE(out.deadline_fired || out.on_time.size() == n);
+
+        // On-time/late split is exactly the trigger-time cut.
+        EXPECT_LE(out.first_arrival_ns, out.trigger_ns);
+        for (const auto id : out.on_time)
+            EXPECT_LE(arrival_of[id], out.trigger_ns);
+        for (const auto id : out.late)
+            EXPECT_GE(arrival_of[id], out.trigger_ns);
+        EXPECT_GE(engine.loop().now(), out.trigger_ns);
+    }
+}
+
+// The virtual clock never runs backwards, even when callbacks schedule
+// events at already-elapsed times (they clamp to "now").
+
+TEST_P(SeededProperty, EventLoopVirtualTimeIsMonotone) {
+    Rng rng(GetParam());
+    core::EventLoop loop;
+    std::vector<core::VirtualTime> observed;
+    int spawned = 0;
+    std::function<void(core::EventLoop&)> visit =
+        [&](core::EventLoop& inner) {
+            observed.push_back(inner.now());
+            if (spawned < 200 && rng.bernoulli(0.6)) {
+                ++spawned;
+                // Half of these land in the loop's past on purpose.
+                inner.schedule_at(static_cast<core::VirtualTime>(
+                                      rng.uniform_int(0, 1'000'000)),
+                                  visit);
+            }
+        };
+    for (int i = 0; i < 10; ++i)
+        loop.schedule_at(
+            static_cast<core::VirtualTime>(rng.uniform_int(0, 1'000'000)),
+            visit);
+    loop.run_until_idle();
+
+    ASSERT_GE(observed.size(), 10U);
+    for (std::size_t i = 1; i < observed.size(); ++i)
+        EXPECT_GE(observed[i], observed[i - 1]) << "clock ran backwards";
+    EXPECT_EQ(loop.pending(), 0U);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
